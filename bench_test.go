@@ -1,0 +1,130 @@
+package eandroid_test
+
+// One benchmark per table/figure in the paper's evaluation. Each bench
+// regenerates the corresponding experiment end to end: workload
+// generation, simulation, attribution and rendering. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The absolute wall-clock numbers are properties of this machine; the
+// paper-facing outputs (energy attributions, rates, orderings) are
+// asserted by the test suite and recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/antutu"
+	"repro/internal/experiments"
+)
+
+func requireNoErr(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFig1MessageFilming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig1()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig2AppStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig2()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig3DrainCurves(b *testing.B) {
+	// The full sweep simulates ~65 h of virtual time across five
+	// configurations; a coarser step keeps each iteration fast while
+	// exercising the identical code path.
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig3WithStep(10 * time.Minute)
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig6MultiCollateral(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig6()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig7HybridChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig7()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig8Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig8()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig9aScene1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig9a()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig9bScene2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig9b()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig9cAttack3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig9c()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig9dAttack4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig9d()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig9eAttack5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig9e()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig9fAttack6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig9f()
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig10MicroOps(b *testing.B) {
+	// 10 reps per op per config inside each iteration; the standalone
+	// cmd/benchsuite runs the paper's full 50.
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig10WithReps(10)
+		requireNoErr(b, err)
+	}
+}
+
+func BenchmarkFig11AnTuTu(b *testing.B) {
+	cfg := antutu.Config{IntOps: 200_000, FloatOps: 200_000, MemBytes: 1 << 18, UXOps: 100}
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig11WithConfig(cfg)
+		requireNoErr(b, err)
+	}
+}

@@ -1,0 +1,102 @@
+// Command benchsuite regenerates the paper's overhead study: the Table I
+// / Figure 10 micro benchmark (50 reps per operation under three device
+// configurations) and the Figure 11 AnTuTu comparison, plus the §VI-B
+// energy-efficiency parity check.
+//
+// Usage:
+//
+//	benchsuite            # everything
+//	benchsuite -micro     # Figure 10 only
+//	benchsuite -antutu    # Figure 11 only
+//	benchsuite -energy    # energy-efficiency check only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/accounting"
+	"repro/internal/antutu"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/microbench"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
+	micro := fs.Bool("micro", false, "run the Figure 10 micro benchmark only")
+	antutuOnly := fs.Bool("antutu", false, "run the Figure 11 AnTuTu benchmark only")
+	energy := fs.Bool("energy", false, "run the energy-efficiency parity check only")
+	reps := fs.Int("reps", microbench.DefaultReps, "micro benchmark repetitions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := !*micro && !*antutuOnly && !*energy
+
+	if all || *micro {
+		r, err := experiments.Fig10WithReps(*reps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	if all || *antutuOnly {
+		r, err := experiments.Fig11WithConfig(antutu.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	if all || *energy {
+		if err := energyParity(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// energyParity reruns scene #1 with and without E-Android and reports
+// the simulated battery drop of each (the paper's §VI-B check: "the
+// decreased energy level is the same between Android and E-Android").
+func energyParity() error {
+	run := func(enabled bool) (float64, error) {
+		w, err := scenario.NewWorld(device.Config{
+			EAndroid: enabled,
+			Policy:   accounting.BatteryStats,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := w.Scene1MessageFilm(); err != nil {
+			return 0, err
+		}
+		return w.Dev.DrainedJ(), nil
+	}
+	with, err := run(true)
+	if err != nil {
+		return err
+	}
+	without, err := run(false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Energy efficiency (paper §VI-B):\n")
+	fmt.Printf("  scene #1 drain with    E-Android: %.3f J\n", with)
+	fmt.Printf("  scene #1 drain without E-Android: %.3f J\n", without)
+	if math.Abs(with-without) < 1e-9 {
+		fmt.Println("  identical — E-Android draws nothing extra outside collateral events")
+	} else {
+		fmt.Printf("  DIFFER by %.3g J\n", with-without)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestMicroOnly(t *testing.T) {
+	if err := run([]string{"-micro", "-reps", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyOnly(t *testing.T) {
+	if err := run([]string{"-energy"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadReps(t *testing.T) {
+	if err := run([]string{"-micro", "-reps", "1"}); err == nil {
+		t.Fatal("too-few reps accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

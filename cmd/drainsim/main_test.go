@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestSummary(t *testing.T) {
+	if err := run([]string{"-step", "15m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	if err := run([]string{"-step", "15m", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadStep(t *testing.T) {
+	if err := run([]string{"-step", "-5s"}); err == nil {
+		t.Fatal("negative step accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,66 @@
+// Command eandroid-sim runs the paper's scenarios and prints the Android
+// and E-Android battery views side by side.
+//
+// Usage:
+//
+//	eandroid-sim -list
+//	eandroid-sim -exp fig9a
+//	eandroid-sim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eandroid-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eandroid-sim", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list available experiments")
+	exp := fs.String("exp", "", "experiment id to run (or 'all')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, s := range experiments.All() {
+			fmt.Printf("  %-6s %s\n", s.ID, s.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with -exp <id>, or -exp all")
+		}
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, s := range experiments.All() {
+			r, err := s.Run()
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.ID, err)
+			}
+			fmt.Println(r.Render())
+		}
+		return nil
+	}
+
+	spec, err := experiments.ByID(*exp)
+	if err != nil {
+		return err
+	}
+	r, err := spec.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Render())
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package eandroid is the public API of the E-Android reproduction: a
+// deterministic discrete-event simulation of an Android-like device with
+// pluggable energy accounting, the paper's six collateral energy
+// attacks, and E-Android's collateral energy maps layered on top of two
+// baseline attribution policies (Android BatteryStats-style and
+// PowerTutor-style).
+//
+// Build a device, install apps, script behaviour against the simulated
+// framework, run the virtual clock, and read energy views:
+//
+//	dev := eandroid.MustNew(eandroid.Config{EAndroid: true})
+//	mal := dev.Packages.MustInstall(
+//	    eandroid.NewManifest("com.mal", "Mal").Activity("Main", true).MustBuild())
+//	...
+//	dev.Run(60 * time.Second)
+//	fmt.Print(dev.EAndroidView())
+package eandroid
+
+import (
+	"repro/internal/accounting"
+	"repro/internal/activity"
+	"repro/internal/app"
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/display"
+	"repro/internal/hw"
+	"repro/internal/intent"
+	"repro/internal/manifest"
+	"repro/internal/power"
+	"repro/internal/service"
+)
+
+// Core device types.
+type (
+	// Config controls device construction; the zero value builds a
+	// stock-Android device with BatteryStats accounting.
+	Config = device.Config
+	// Device is a fully wired simulated smartphone.
+	Device = device.Device
+)
+
+// New builds and wires a device.
+func New(cfg Config) (*Device, error) { return device.New(cfg) }
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config) *Device { return device.MustNew(cfg) }
+
+// Identity and app-model types.
+type (
+	// UID identifies an installed app.
+	UID = app.UID
+	// App is one installed application.
+	App = app.App
+	// Workload is a component's hardware demand profile.
+	Workload = app.Workload
+	// Manifest describes an application's components and permissions.
+	Manifest = manifest.Manifest
+	// ManifestBuilder assembles manifests fluently.
+	ManifestBuilder = manifest.Builder
+	// IntentFilter declares implicit-intent matching rules.
+	IntentFilter = manifest.IntentFilter
+	// Intent is a request to start a component.
+	Intent = intent.Intent
+)
+
+// NewManifest starts a manifest builder for the given package and label.
+func NewManifest(pkg, label string) *ManifestBuilder {
+	return manifest.NewBuilder(pkg, label)
+}
+
+// Pseudo-UIDs used in battery views.
+const (
+	UIDNone   = app.UIDNone
+	UIDScreen = app.UIDScreen
+	UIDSystem = app.UIDSystem
+)
+
+// Permission strings.
+const (
+	PermWakeLock      = manifest.PermWakeLock
+	PermWriteSettings = manifest.PermWriteSettings
+)
+
+// Accounting policies.
+const (
+	// BatteryStats reports screen energy as a separate entry (Android's
+	// official interface).
+	BatteryStats = accounting.BatteryStats
+	// PowerTutor charges screen energy to the foreground app.
+	PowerTutor = accounting.PowerTutor
+)
+
+// E-Android monitor modes.
+const (
+	// FrameworkOnly records collateral events without the accounting
+	// module.
+	FrameworkOnly = core.FrameworkOnly
+	// Complete enables full collateral accounting.
+	Complete = core.Complete
+)
+
+// Wakelock types.
+const (
+	PartialWakeLock      = power.Partial
+	ScreenDimWakeLock    = power.ScreenDim
+	ScreenBrightWakeLock = power.ScreenBright
+	FullWakeLock         = power.Full
+)
+
+// Display modes and change sources.
+const (
+	BrightnessManual = display.Manual
+	BrightnessAuto   = display.Auto
+	SourceApp        = display.SourceApp
+	SourceSystemUI   = display.SourceSystemUI
+)
+
+// Attack vectors reported by the monitor.
+const (
+	VectorActivity     = core.VectorActivity
+	VectorInterrupt    = core.VectorInterrupt
+	VectorServiceStart = core.VectorServiceStart
+	VectorServiceBind  = core.VectorServiceBind
+	VectorScreen       = core.VectorScreen
+	VectorWakelock     = core.VectorWakelock
+	// VectorBroadcast is this reproduction's extension vector for
+	// cross-app broadcasts (see DESIGN.md).
+	VectorBroadcast = core.VectorBroadcast
+	// VectorProvider is the extension vector for cross-app
+	// content-provider queries (see DESIGN.md).
+	VectorProvider = core.VectorProvider
+)
+
+// Collateral charge policies.
+const (
+	// ChargeFullToEach charges every driver the driven party's full
+	// energy (the paper's policy).
+	ChargeFullToEach = core.ChargeFullToEach
+	// ChargeSplit divides the driven party's energy among the drivers.
+	ChargeSplit = core.ChargeSplit
+)
+
+// Monitor-facing types.
+type (
+	// Attack is one collateral attack lifecycle record.
+	Attack = core.Attack
+	// MapEntry is one element of a collateral energy map.
+	MapEntry = core.MapEntry
+	// Breakdown is one revised-battery-interface row.
+	Breakdown = core.Breakdown
+)
+
+// TransparentActivity marks a started activity as transparent (the
+// overlay trick used by the paper's malware #4).
+func TransparentActivity() activity.StartOption { return activity.Transparent() }
+
+// Hardware profile helpers.
+var (
+	// Nexus4Profile is the default power model (linear CPU).
+	Nexus4Profile = hw.Nexus4
+	// Nexus4DVFSProfile enables the DVFS CPU ladder.
+	Nexus4DVFSProfile = hw.Nexus4DVFS
+)
+
+// NexusBatteryJ is the default battery capacity in joules.
+const NexusBatteryJ = hw.NexusBatteryJ
+
+// Service-facing aliases used by advanced callers.
+type (
+	// Service is one live service component instance.
+	Service = service.Service
+	// ServiceConnection is one live bindService link.
+	ServiceConnection = service.Connection
+	// Wakelock is a held wakelock registration.
+	Wakelock = power.Wakelock
+	// Activity is one live activity record.
+	Activity = activity.Activity
+	// BroadcastDelivery is one receiver invocation.
+	BroadcastDelivery = broadcast.Delivery
+)

@@ -1,0 +1,81 @@
+package eandroid_test
+
+import (
+	"fmt"
+	"time"
+
+	eandroid "repro"
+)
+
+// Example builds a device, runs the paper's component-hijack attack, and
+// shows that the baseline hides the malware while E-Android exposes it.
+func Example() {
+	dev := eandroid.MustNew(eandroid.Config{EAndroid: true})
+
+	victim, err := dev.Packages.Install(
+		eandroid.NewManifest("com.example.victim", "Victim").
+			Activity("Main", true).MustBuild())
+	if err != nil {
+		panic(err)
+	}
+	if err := victim.SetWorkload("Main", eandroid.Workload{CPUActive: 0.4}); err != nil {
+		panic(err)
+	}
+	mal, err := dev.Packages.Install(
+		eandroid.NewManifest("com.fun.game", "FunGame").
+			Activity("Main", true).MustBuild())
+	if err != nil {
+		panic(err)
+	}
+
+	if _, err := dev.Activities.UserStartApp("com.fun.game"); err != nil {
+		panic(err)
+	}
+	if _, err := dev.StartActivity(mal.UID, "com.example.victim/Main"); err != nil {
+		panic(err)
+	}
+	if err := dev.Run(10 * time.Second); err != nil {
+		panic(err)
+	}
+	dev.Flush()
+
+	fmt.Printf("baseline charges malware:   %.1f J\n", dev.Android.AppJ(mal.UID))
+	fmt.Printf("e-android charges malware:  %.1f J collateral\n",
+		dev.EAndroid.CollateralJ(mal.UID))
+	// Output:
+	// baseline charges malware:   0.0 J
+	// e-android charges malware:  2.4 J collateral
+}
+
+// ExampleDevice_EAndroidView renders the revised battery interface after
+// a cross-app service bind.
+func ExampleDevice_EAndroidView() {
+	dev := eandroid.MustNew(eandroid.Config{EAndroid: true})
+	victim, err := dev.Packages.Install(
+		eandroid.NewManifest("com.v", "Victim").
+			Activity("Main", true).
+			Service("Work", true).
+			MustBuild())
+	if err != nil {
+		panic(err)
+	}
+	if err := victim.SetWorkload("Work", eandroid.Workload{CPUActive: 0.5}); err != nil {
+		panic(err)
+	}
+	mal, err := dev.Packages.Install(
+		eandroid.NewManifest("com.m", "Mal").Activity("Main", true).MustBuild())
+	if err != nil {
+		panic(err)
+	}
+	if _, err := dev.BindService(mal.UID, "com.v/Work"); err != nil {
+		panic(err)
+	}
+	if err := dev.Run(10 * time.Second); err != nil {
+		panic(err)
+	}
+	for _, a := range dev.EAndroid.Attacks() {
+		fmt.Println(a.Vector, dev.Packages.Label(a.Driving), "->", dev.Packages.Label(a.Driven))
+	}
+	// Output:
+	// service-bind Mal -> Victim
+}

@@ -1,0 +1,86 @@
+// Camera-message: the paper's motivating normal scenario (Figures 1 and
+// 9a). Bob opens the Message app, films a 30-second video through the
+// Camera app via an implicit VIDEO_CAPTURE intent, and the two battery
+// interfaces disagree about who spent the energy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	eandroid "repro"
+)
+
+const (
+	actionVideoCapture = "android.media.action.VIDEO_CAPTURE"
+	categoryDefault    = "android.intent.category.DEFAULT"
+)
+
+func main() {
+	dev := eandroid.MustNew(eandroid.Config{EAndroid: true})
+
+	message, err := dev.Packages.Install(
+		eandroid.NewManifest("com.android.message", "Message").
+			Activity("Main", true).
+			MustBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := message.SetWorkload("Main", eandroid.Workload{
+		CPUActive: 0.25, CPUBackground: 0.02,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	camera, err := dev.Packages.Install(
+		eandroid.NewManifest("com.android.camera", "Camera").
+			Activity("VideoActivity", true, eandroid.IntentFilter{
+				Actions:    []string{actionVideoCapture},
+				Categories: []string{categoryDefault},
+			}).
+			MustBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := camera.SetWorkload("VideoActivity", eandroid.Workload{
+		CPUActive: 0.5, Camera: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob opens Message and chats for 30 seconds.
+	if _, err := dev.Activities.UserStartApp("com.android.message"); err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Run(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob taps "Record Video": Message sends an implicit intent that the
+	// Camera app serves. The tap is real user input, so the screen
+	// timeout resets.
+	dev.Power.UserActivity()
+	_, rec, err := dev.Activities.StartActivityImplicit(eandroid.Intent{
+		Sender:     message.UID,
+		Action:     actionVideoCapture,
+		Categories: []string{categoryDefault},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Run(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	dev.Power.UserActivity()
+	if err := dev.Activities.Finish(rec); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 1 — Android's official view after filming in Message:")
+	fmt.Println(dev.AndroidView())
+	fmt.Println("Figure 9a — E-Android's revised view of the same hour:")
+	fmt.Println(dev.EAndroidView())
+	fmt.Printf("Battery: %.2f%% remaining, %.1f J drained\n",
+		dev.BatteryPercent(), dev.DrainedJ())
+}

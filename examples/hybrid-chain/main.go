@@ -1,0 +1,104 @@
+// Hybrid-chain: the paper's Figure 7 attack chain. App A (malware)
+// binds app B's service; B starts an activity belonging to app C; C
+// stealthily raises the screen brightness. E-Android superimposes B's,
+// C's and the screen's energy onto A's collateral map, then releases the
+// links one by one as the user takes back control.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	eandroid "repro"
+)
+
+func main() {
+	dev := eandroid.MustNew(eandroid.Config{EAndroid: true})
+
+	a, err := dev.Packages.Install(
+		eandroid.NewManifest("com.chain.a", "AppA").
+			Activity("Main", true).
+			MustBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := dev.Packages.Install(
+		eandroid.NewManifest("com.chain.b", "AppB").
+			Activity("Main", true).
+			Service("Work", true).
+			MustBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := b.SetWorkload("Work", eandroid.Workload{CPUActive: 0.3}); err != nil {
+		log.Fatal(err)
+	}
+	c, err := dev.Packages.Install(
+		eandroid.NewManifest("com.chain.c", "AppC").
+			Permission(eandroid.PermWriteSettings).
+			Activity("Main", true).
+			MustBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.SetWorkload("Main", eandroid.Workload{CPUActive: 0.2, CPUBackground: 0.05}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Keep the screen on for the whole observation window, as in the
+	// paper's experimental setup.
+	if _, err := dev.Power.Acquire(dev.Activities.Launcher().UID,
+		eandroid.ScreenBrightWakeLock, "experiment"); err != nil {
+		log.Fatal(err)
+	}
+
+	step := func(what string, fn func() error) {
+		fmt.Println(">>>", what)
+		if err := fn(); err != nil {
+			log.Fatal(err)
+		}
+		if err := dev.Run(10 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var conn *eandroid.ServiceConnection
+	step("user opens A; A binds B's service", func() error {
+		if _, err := dev.Activities.UserStartApp("com.chain.a"); err != nil {
+			return err
+		}
+		var err error
+		conn, err = dev.BindService(a.UID, "com.chain.b/Work")
+		return err
+	})
+	step("B starts C's activity", func() error {
+		_, err := dev.StartActivity(b.UID, "com.chain.c/Main")
+		return err
+	})
+	step("C raises brightness to 255", func() error {
+		return dev.Display.SetBrightness(c.UID, eandroid.SourceApp, 255)
+	})
+
+	fmt.Println("Collateral maps while the whole chain is active:")
+	fmt.Println(dev.AttackView())
+	fmt.Println(dev.EAndroidView())
+
+	step("user drags the brightness slider back (screen attack ends)", func() error {
+		return dev.Display.SetBrightness(eandroid.UIDSystem, eandroid.SourceSystemUI, 102)
+	})
+	step("user opens B and C directly (activity attacks end)", func() error {
+		if _, err := dev.Activities.UserStartApp("com.chain.c"); err != nil {
+			return err
+		}
+		_, err := dev.Activities.UserStartApp("com.chain.b")
+		return err
+	})
+	step("A unbinds (last link revoked)", func() error {
+		return dev.Services.Unbind(conn)
+	})
+
+	fmt.Println("After the chain unwinds:")
+	fmt.Println(dev.AttackView())
+	fmt.Println(dev.EAndroidView())
+}

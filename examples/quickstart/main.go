@@ -1,0 +1,65 @@
+// Quickstart: build a simulated device with E-Android enabled, install a
+// tiny "malware" app and a victim, let the malware start the victim's
+// activity, and compare what the stock battery interface and E-Android's
+// revised interface report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	eandroid "repro"
+)
+
+func main() {
+	// A Nexus 4-like device with the complete E-Android monitor.
+	dev := eandroid.MustNew(eandroid.Config{EAndroid: true})
+
+	// A victim app whose activity does real work in the foreground.
+	victim, err := dev.Packages.Install(
+		eandroid.NewManifest("com.example.victim", "Victim").
+			Activity("Main", true).
+			MustBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := victim.SetWorkload("Main", eandroid.Workload{
+		CPUActive: 0.4, CPUBackground: 0.1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A nearly idle malware app.
+	mal, err := dev.Packages.Install(
+		eandroid.NewManifest("com.fun.game", "FunGame").
+			Activity("Main", true).
+			MustBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mal.SetWorkload("Main", eandroid.Workload{CPUActive: 0.02}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The user opens the game; the game silently starts the victim and
+	// shoves it into the background, where it keeps draining.
+	if _, err := dev.Activities.UserStartApp("com.fun.game"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dev.StartActivity(mal.UID, "com.example.victim/Main"); err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Activities.MoveAppToFront(mal.UID, "com.fun.game"); err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Run(60 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("What stock Android shows (malware invisible):")
+	fmt.Println(dev.AndroidView())
+	fmt.Println("What E-Android shows (collateral energy attributed):")
+	fmt.Println(dev.EAndroidView())
+	fmt.Println(dev.AttackView())
+}

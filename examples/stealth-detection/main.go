@@ -1,0 +1,80 @@
+// Stealth-detection: the full §V delivery story plus the defense
+// comparison. The malware hides from recents, auto-launches from the
+// unlock broadcast, hijacks the camera from the background — and three
+// defenses look at the result: the stock battery interface (blind), a
+// power-signature detector (blind: the malware's own trace is flat), and
+// E-Android (names the culprit). Finally the user deletes the malware
+// and the attack collapses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/powersig"
+	"repro/internal/scenario"
+)
+
+func main() {
+	w, err := scenario.NewWorld(device.Config{EAndroid: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.ForceScreenOn(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the power-signature detector on a benign window first.
+	det, err := powersig.NewDetector(w.Dev.Engine, w.Dev.Meter, w.Dev.Packages, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det.Start()
+	if err := w.Dev.Run(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := det.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The user unlocks the phone; the hidden malware auto-launches its
+	// attack and runs for a minute.
+	if err := w.StealthAutoLaunch(60 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	w.Dev.Flush()
+
+	fmt.Println("=== after 60 s of stealth camera hijack ===")
+	fmt.Printf("malware foreground time: %v (user never saw it)\n",
+		w.Dev.Android.ForegroundTime(w.Malware.UID))
+
+	fmt.Println("\n[1] stock battery interface:")
+	fmt.Print(w.Dev.AndroidView())
+
+	fmt.Println("\n[2] power-signature detector verdicts:")
+	anomalous := det.Anomalous()
+	if len(anomalous) == 0 {
+		fmt.Println("  nothing flagged — the malware's own power trace is flat")
+	}
+	for _, uid := range anomalous {
+		fmt.Printf("  flagged: %s (an innocent app doing the malware's work)\n",
+			w.Dev.Packages.Label(uid))
+	}
+
+	fmt.Println("\n[3] E-Android:")
+	fmt.Print(w.Dev.EAndroidView())
+	fmt.Print(w.Dev.AttackView())
+
+	// The user acts on E-Android's verdict.
+	fmt.Println("\n=== user deletes FunGame ===")
+	if err := w.Dev.Packages.Uninstall(scenario.PkgMalware); err != nil {
+		log.Fatal(err)
+	}
+	if n := len(w.Dev.EAndroid.ActiveAttacks()); n != 0 {
+		log.Fatalf("attacks survived uninstall: %d", n)
+	}
+	fmt.Println("all collateral attacks ended; device report:")
+	fmt.Print(w.Dev.Report())
+}

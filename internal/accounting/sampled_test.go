@@ -1,0 +1,138 @@
+package accounting_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/accounting"
+	"repro/internal/app"
+	"repro/internal/device"
+	"repro/internal/manifest"
+)
+
+func sampledFixture(t *testing.T, period time.Duration) (*device.Device, *app.App, *accounting.SampledAccountant) {
+	t.Helper()
+	dev, err := device.New(device.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dev.Packages.MustInstall(manifest.NewBuilder("com.s", "S").
+		Activity("Main", true).
+		MustBuild())
+	if err := a.SetWorkload("Main", app.Workload{CPUActive: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := accounting.NewSampled(dev.Engine, dev.Meter, dev.Packages, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	return dev, a, s
+}
+
+func TestSampledMatchesExactOnSteadyState(t *testing.T) {
+	dev, a, s := sampledFixture(t, time.Second)
+	if _, err := dev.Activities.UserStartApp("com.s"); err != nil {
+		t.Fatal(err)
+	}
+	// Steady state for exactly 20 sample periods.
+	if err := dev.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dev.Flush()
+	exact := dev.Android.AppJ(a.UID)
+	if e := accounting.RelativeError(s.AppJ(a.UID), exact); e > 0.001 {
+		t.Fatalf("steady-state error = %.4f (sampled %v vs exact %v)",
+			e, s.AppJ(a.UID), exact)
+	}
+}
+
+func TestSampledMissesSubPeriodBursts(t *testing.T) {
+	// The app runs in 300 ms bursts between 1 Hz samples: the sampler
+	// attributes almost nothing while the exact integrator sees it all —
+	// the utilization-sampling blind spot.
+	dev, a, s := sampledFixture(t, time.Second)
+	for i := 0; i < 20; i++ {
+		// Burst: activity resumes right after a sample, finishes before
+		// the next.
+		rec, err := dev.Activities.UserStartApp("com.s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Run(300 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Activities.Finish(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Run(700 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.Flush()
+	exact := dev.Android.AppJ(a.UID)
+	if exact <= 0 {
+		t.Fatal("exact accountant should have seen the bursts")
+	}
+	if e := accounting.RelativeError(s.AppJ(a.UID), exact); e < 0.5 {
+		t.Fatalf("sampler unexpectedly accurate on bursts: error %.3f", e)
+	}
+}
+
+func TestSampledTotalTracksLoosely(t *testing.T) {
+	dev, _, s := sampledFixture(t, time.Second)
+	if _, err := dev.Activities.UserStartApp("com.s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dev.Flush()
+	if e := accounting.RelativeError(s.TotalJ(), dev.Battery.DrainedJ()); e > 0.1 {
+		t.Fatalf("total error = %.3f", e)
+	}
+	if s.ScreenJ() <= 0 || s.SystemJ() <= 0 {
+		t.Fatal("component buckets empty")
+	}
+}
+
+func TestSampledStartStopIdempotent(t *testing.T) {
+	dev, a, s := sampledFixture(t, time.Second)
+	s.Start() // second start: no double sampling
+	if _, err := dev.Activities.UserStartApp("com.s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := s.AppJ(a.UID)
+	s.Stop()
+	s.Stop()
+	if err := dev.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.AppJ(a.UID) != before {
+		t.Fatal("sampling continued after stop")
+	}
+}
+
+func TestNewSampledValidation(t *testing.T) {
+	if _, err := accounting.NewSampled(nil, nil, nil, 0); err == nil {
+		t.Fatal("nil deps accepted")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if accounting.RelativeError(0, 0) != 0 {
+		t.Fatal("0/0")
+	}
+	if accounting.RelativeError(5, 0) != 1 {
+		t.Fatal("x/0")
+	}
+	if got := accounting.RelativeError(90, 100); got != 0.1 {
+		t.Fatalf("err = %v", got)
+	}
+	if got := accounting.RelativeError(110, 100); got != 0.1 {
+		t.Fatalf("err = %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+// Package alarm implements the AlarmManager slice relevant to the paper:
+// apps schedule intents to fire later, and the framework performs the
+// action *on behalf of the scheduling app* when the alarm goes off. The
+// paper's attack analysis notes that "a foreground activity could be
+// easily interrupted by popup activities, e.g., the activity invoked by
+// a notification, an incoming call or an alarm" — and because the fired
+// intent carries the scheduler's UID, E-Android attributes the resulting
+// interrupt or collateral period to the app that armed the alarm, even
+// though it was nowhere near the foreground when the popup landed.
+package alarm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/app"
+	"repro/internal/broadcast"
+	"repro/internal/intent"
+	"repro/internal/sim"
+)
+
+// Kind selects what an alarm fires.
+type Kind int
+
+// Alarm kinds.
+const (
+	// FireActivity starts an activity (a popup) when the alarm goes off.
+	FireActivity Kind = iota + 1
+	// FireBroadcast dispatches a broadcast when the alarm goes off.
+	FireBroadcast
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FireActivity:
+		return "activity"
+	case FireBroadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Alarm is one scheduled intent.
+type Alarm struct {
+	Owner app.UID
+	Kind  Kind
+	In    intent.Intent
+	At    sim.Time
+
+	event *sim.Event
+	fired bool
+	err   error
+}
+
+// Fired reports whether the alarm already went off.
+func (a *Alarm) Fired() bool { return a.fired }
+
+// Err reports the delivery error, if firing failed.
+func (a *Alarm) Err() error { return a.err }
+
+// Cancel unschedules a pending alarm. Cancelling a fired alarm errors.
+func (a *Alarm) Cancel() error {
+	if a.fired {
+		return fmt.Errorf("alarm: already fired")
+	}
+	a.event.Cancel()
+	return nil
+}
+
+// Manager is the simulated AlarmManager.
+type Manager struct {
+	engine     *sim.Engine
+	pm         *app.PackageManager
+	activities *activity.Manager
+	broadcasts *broadcast.Manager
+}
+
+// NewManager builds the alarm manager.
+func NewManager(engine *sim.Engine, pm *app.PackageManager, am *activity.Manager, bm *broadcast.Manager) (*Manager, error) {
+	if engine == nil || pm == nil || am == nil || bm == nil {
+		return nil, fmt.Errorf("alarm: nil dependency")
+	}
+	return &Manager{engine: engine, pm: pm, activities: am, broadcasts: bm}, nil
+}
+
+// Schedule arms an alarm firing after delay. The fired intent's sender
+// is forced to the scheduling app's UID — alarms cannot launder
+// attribution by pretending someone else sent the intent.
+func (m *Manager) Schedule(owner app.UID, kind Kind, in intent.Intent, delay time.Duration) (*Alarm, error) {
+	if kind != FireActivity && kind != FireBroadcast {
+		return nil, fmt.Errorf("alarm: invalid kind %d", int(kind))
+	}
+	o := m.pm.ByUID(owner)
+	if o == nil {
+		return nil, fmt.Errorf("alarm: unknown uid %d", owner)
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("alarm: negative delay %v", delay)
+	}
+	in.Sender = owner
+	a := &Alarm{Owner: owner, Kind: kind, In: in, At: m.engine.Now().Add(delay)}
+	a.event = m.engine.After(delay, "alarm.fire", func() {
+		a.fired = true
+		switch kind {
+		case FireActivity:
+			_, a.err = m.activities.StartActivity(a.In)
+		case FireBroadcast:
+			_, a.err = m.broadcasts.Send(a.In)
+		}
+	})
+	return a, nil
+}
+
+// SystemPopup simulates a legitimate system interruption (an incoming
+// call or alarm-clock dialog): a system-owned popup covers the current
+// foreground app. It returns the popup activity so the call can be
+// "answered" (finished).
+func (m *Manager) SystemPopup(component string) (*activity.Activity, error) {
+	return m.activities.StartActivity(intent.Intent{
+		Sender:    m.systemUID(),
+		Component: component,
+	})
+}
+
+func (m *Manager) systemUID() app.UID {
+	return m.activities.Launcher().UID
+}

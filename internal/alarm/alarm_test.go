@@ -1,0 +1,230 @@
+package alarm_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/intent"
+	"repro/internal/manifest"
+)
+
+func fixture(t *testing.T) (*device.Device, *app.App, *app.App) {
+	t.Helper()
+	dev, err := device.New(device.Config{EAndroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := dev.Packages.MustInstall(manifest.NewBuilder("com.victim", "Victim").
+		Activity("Main", true).
+		Receiver("Ping", true, manifest.IntentFilter{Actions: []string{"act.PING"}}).
+		MustBuild())
+	if err := victim.SetWorkload("Main", app.Workload{CPUActive: 0.3, CPUBackground: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	mal := dev.Packages.MustInstall(manifest.NewBuilder("com.mal", "Mal").
+		Activity("Main", true).
+		Activity("Popup", true).
+		MustBuild())
+	return dev, victim, mal
+}
+
+func TestAlarmFiresActivityLater(t *testing.T) {
+	dev, victim, mal := fixture(t)
+	a, err := dev.Alarms.Schedule(mal.UID, alarm.FireActivity, intent.Intent{
+		Component: "com.victim/Main",
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fired() {
+		t.Fatal("alarm fired early")
+	}
+	if err := dev.Run(31 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Fired() || a.Err() != nil {
+		t.Fatalf("fired=%v err=%v", a.Fired(), a.Err())
+	}
+	if dev.Activities.Foreground() != victim.UID {
+		t.Fatal("alarm should have started the victim's activity")
+	}
+}
+
+func TestAlarmAttributionToScheduler(t *testing.T) {
+	// The delayed start is a collateral attack by the *scheduling* app,
+	// even though it is idle when the alarm fires — and the intent's
+	// sender cannot be spoofed.
+	dev, victim, mal := fixture(t)
+	if _, err := dev.Alarms.Schedule(mal.UID, alarm.FireActivity, intent.Intent{
+		Sender:    victim.UID, // spoof attempt: must be overwritten
+		Component: "com.victim/Main",
+	}, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(11 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	atks := dev.EAndroid.ActiveAttacks()
+	if len(atks) != 1 || atks[0].Vector != core.VectorActivity ||
+		atks[0].Driving != mal.UID || atks[0].Driven != victim.UID {
+		t.Fatalf("attacks = %v", atks)
+	}
+}
+
+func TestAlarmPopupInterruptsForeground(t *testing.T) {
+	// The paper's attack-#4 enabler: a popup (here the malware's own
+	// page fired via alarm) forces the foreground app to background.
+	dev, victim, mal := fixture(t)
+	if _, err := dev.Activities.UserStartApp("com.victim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Alarms.Schedule(mal.UID, alarm.FireActivity, intent.Intent{
+		Component: "com.mal/Popup",
+	}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range dev.EAndroid.ActiveAttacks() {
+		if a.Vector == core.VectorInterrupt && a.Driving == mal.UID && a.Driven == victim.UID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("interrupt not attributed to scheduler: %v", dev.EAndroid.ActiveAttacks())
+	}
+}
+
+func TestAlarmFiresBroadcast(t *testing.T) {
+	dev, victim, mal := fixture(t)
+	if _, err := dev.Alarms.Schedule(mal.UID, alarm.FireBroadcast, intent.Intent{
+		Action: "act.PING",
+	}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver's handler window opened: victim is billed and the
+	// broadcast attack names the scheduler.
+	if dev.Meter.CPUUtil(victim.UID) == 0 {
+		t.Fatal("receiver not billed")
+	}
+	found := false
+	for _, a := range dev.EAndroid.ActiveAttacks() {
+		if a.Vector == core.VectorBroadcast && a.Driving == mal.UID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("broadcast attack missing")
+	}
+}
+
+func TestAlarmCancel(t *testing.T) {
+	dev, _, mal := fixture(t)
+	a, err := dev.Alarms.Schedule(mal.UID, alarm.FireActivity, intent.Intent{
+		Component: "com.victim/Main",
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fired() {
+		t.Fatal("cancelled alarm fired")
+	}
+	// Cancel after firing errors.
+	b, _ := dev.Alarms.Schedule(mal.UID, alarm.FireActivity, intent.Intent{
+		Component: "com.victim/Main",
+	}, time.Second)
+	if err := dev.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Cancel(); err == nil {
+		t.Fatal("cancel after fire accepted")
+	}
+}
+
+func TestAlarmDeliveryErrorSurfaces(t *testing.T) {
+	dev, _, mal := fixture(t)
+	a, err := dev.Alarms.Schedule(mal.UID, alarm.FireActivity, intent.Intent{
+		Component: "com.missing/Main",
+	}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if a.Err() == nil {
+		t.Fatal("delivery error not recorded")
+	}
+}
+
+func TestSystemPopupNotAnAttack(t *testing.T) {
+	// An incoming call interrupts the foreground app legitimately.
+	dev, victim, _ := fixture(t)
+	phone, err := dev.Packages.InstallSystem(manifest.NewBuilder("android.phone", "Phone").
+		Activity("IncomingCall", true).MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = phone
+	rec, err := dev.Activities.UserStartApp("com.victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	popup, err := dev.Alarms.SystemPopup("android.phone/IncomingCall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State() == 0 {
+		t.Fatal("sanity")
+	}
+	if len(dev.EAndroid.ActiveAttacks()) != 0 {
+		t.Fatalf("system popup registered attacks: %v", dev.EAndroid.ActiveAttacks())
+	}
+	// Hanging up restores the victim.
+	if err := dev.Activities.Finish(popup); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Activities.Foreground() != victim.UID {
+		t.Fatal("victim should return to foreground after the call")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	dev, _, mal := fixture(t)
+	if _, err := dev.Alarms.Schedule(999, alarm.FireActivity, intent.Intent{}, time.Second); err == nil {
+		t.Fatal("unknown uid accepted")
+	}
+	if _, err := dev.Alarms.Schedule(mal.UID, alarm.Kind(0), intent.Intent{}, time.Second); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	if _, err := dev.Alarms.Schedule(mal.UID, alarm.FireActivity, intent.Intent{}, -time.Second); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if alarm.FireActivity.String() != "activity" || alarm.FireBroadcast.String() != "broadcast" {
+		t.Fatal("kind names")
+	}
+	if alarm.Kind(9).String() == "" {
+		t.Fatal("unknown kind stringer")
+	}
+}
+
+func TestNewManagerNilDeps(t *testing.T) {
+	if _, err := alarm.NewManager(nil, nil, nil, nil); err == nil {
+		t.Fatal("nil deps accepted")
+	}
+}

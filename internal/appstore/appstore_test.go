@@ -1,0 +1,145 @@
+package appstore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDefaultCorpus(t *testing.T) {
+	c, err := Generate(DefaultCorpusSize, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.APKs) != DefaultCorpusSize {
+		t.Fatalf("corpus size = %d", len(c.APKs))
+	}
+	for i, apk := range c.APKs {
+		if len(apk.ManifestXML) == 0 {
+			t.Fatalf("apk %d has empty manifest xml", i)
+		}
+	}
+}
+
+func TestGenerateRejectsBadSize(t *testing.T) {
+	if _, err := Generate(0, 1); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := Generate(-5, 1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestInspectRecoversPaperRates(t *testing.T) {
+	c, err := Generate(DefaultCorpusSize, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Inspect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact counts by construction (rounded).
+	n := float64(res.Total)
+	if res.Exported != int(RateExported*n+0.5) {
+		t.Fatalf("exported = %d", res.Exported)
+	}
+	if res.WakeLock != int(RateWakeLock*n+0.5) {
+		t.Fatalf("wakelock = %d", res.WakeLock)
+	}
+	if res.WriteSettings != int(RateWriteSettings*n+0.5) {
+		t.Fatalf("writesettings = %d", res.WriteSettings)
+	}
+	// Figure 2's percentages.
+	if math.Abs(res.ExportedRate-0.72) > 0.001 ||
+		math.Abs(res.WakeLockRate-0.81) > 0.001 ||
+		math.Abs(res.WriteSettingsRate-0.21) > 0.001 {
+		t.Fatalf("rates = %.3f %.3f %.3f", res.ExportedRate, res.WakeLockRate, res.WriteSettingsRate)
+	}
+}
+
+func TestCorpusCovers28Categories(t *testing.T) {
+	if len(Categories) != NumCategories {
+		t.Fatalf("Categories = %d entries", len(Categories))
+	}
+	c, err := Generate(DefaultCorpusSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Inspect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCategory) != NumCategories {
+		t.Fatalf("categories covered = %d", len(res.PerCategory))
+	}
+	total := 0
+	for _, n := range res.PerCategory {
+		total += n
+	}
+	if total != DefaultCorpusSize {
+		t.Fatalf("category counts sum to %d", total)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, err := Generate(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.APKs {
+		if string(a.APKs[i].ManifestXML) != string(b.APKs[i].ManifestXML) {
+			t.Fatalf("apk %d differs across same-seed runs", i)
+		}
+	}
+	c, err := Generate(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.APKs {
+		if string(a.APKs[i].ManifestXML) != string(c.APKs[i].ManifestXML) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestInspectEmptyCorpus(t *testing.T) {
+	res, err := Inspect(&Corpus{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 || res.ExportedRate != 0 {
+		t.Fatalf("empty corpus result = %+v", res)
+	}
+}
+
+// Property: for any size and seed, recovered counts equal the rounded
+// targets and every manifest round-trips.
+func TestPropertyRatesExact(t *testing.T) {
+	prop := func(size uint16, seed int64) bool {
+		n := int(size%500) + 1
+		c, err := Generate(n, seed)
+		if err != nil {
+			return false
+		}
+		res, err := Inspect(c)
+		if err != nil {
+			return false
+		}
+		return res.Exported == int(RateExported*float64(n)+0.5) &&
+			res.WakeLock == int(RateWakeLock*float64(n)+0.5) &&
+			res.WriteSettings == int(RateWriteSettings*float64(n)+0.5)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

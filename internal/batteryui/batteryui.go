@@ -1,0 +1,140 @@
+// Package batteryui renders battery interfaces as text: the baseline
+// Android/PowerTutor views (which hide collateral energy) and the
+// revised E-Android views that rank apps by total energy including
+// collateral and itemize each app's collateral inventory, mirroring the
+// paper's Figure 8.
+package batteryui
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/accounting"
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+// RenderBaseline renders the stock battery interface for the given
+// accountant: a ranked list of apps (plus pseudo-entries) with energy
+// shares.
+func RenderBaseline(pm *app.PackageManager, acc *accounting.Accountant, battery *hw.Battery) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Battery view (%s policy) — battery %.1f%%, screen on %s\n",
+		acc.Policy(), battery.Percent(), acc.ScreenOnTime().Round(time.Second))
+	total := acc.TotalJ()
+	for _, e := range acc.Entries() {
+		share := 0.0
+		if total > 0 {
+			share = 100 * e.TotalJ / total
+		}
+		fmt.Fprintf(&b, "  %-24s %6.1f%%  %9.1f J\n", pm.Label(e.UID), share, e.TotalJ)
+	}
+	return b.String()
+}
+
+// Row is one computed row of the E-Android view, exposed so tests and
+// harnesses can assert on structure rather than parse text.
+type Row struct {
+	UID        app.UID
+	Label      string
+	OriginalJ  float64
+	Collateral []core.MapEntry
+	TotalJ     float64
+}
+
+// EAndroidRows computes the revised view: every app (and pseudo-entry)
+// with its original policy-attributed energy plus its collateral
+// inventory, ranked by total energy including collateral.
+func EAndroidRows(pm *app.PackageManager, acc *accounting.Accountant, mon *core.Monitor) []Row {
+	var rows []Row
+	for _, e := range acc.Entries() {
+		bd := mon.BreakdownFor(e.UID, e.TotalJ)
+		rows = append(rows, Row{
+			UID:        e.UID,
+			Label:      pm.Label(e.UID),
+			OriginalJ:  bd.OriginalJ,
+			Collateral: bd.Collateral,
+			TotalJ:     bd.TotalJ,
+		})
+	}
+	// Apps with zero original energy but non-empty collateral maps still
+	// deserve rows (a sleeping attacker shows up purely by collateral).
+	seen := make(map[app.UID]bool, len(rows))
+	for _, r := range rows {
+		seen[r.UID] = true
+	}
+	for _, a := range pm.Apps() {
+		if seen[a.UID] {
+			continue
+		}
+		bd := mon.BreakdownFor(a.UID, 0)
+		if bd.TotalJ == 0 {
+			continue
+		}
+		rows = append(rows, Row{
+			UID:        a.UID,
+			Label:      pm.Label(a.UID),
+			OriginalJ:  0,
+			Collateral: bd.Collateral,
+			TotalJ:     bd.TotalJ,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TotalJ != rows[j].TotalJ {
+			return rows[i].TotalJ > rows[j].TotalJ
+		}
+		return rows[i].UID < rows[j].UID
+	})
+	return rows
+}
+
+// RenderEAndroid renders the revised battery interface: ranked totals
+// including collateral, the original energy alongside, and the per-app
+// collateral inventory indented beneath each row (Figure 8's layout).
+func RenderEAndroid(pm *app.PackageManager, acc *accounting.Accountant, mon *core.Monitor, battery *hw.Battery) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Battery view (E-Android over %s) — battery %.1f%%\n",
+		acc.Policy(), battery.Percent())
+	if mon.Mode() != core.Complete {
+		fmt.Fprintf(&b, "  [energy accounting module disabled: %s mode]\n", mon.Mode())
+	}
+	rows := EAndroidRows(pm, acc, mon)
+	var grand float64
+	for _, r := range rows {
+		grand += r.TotalJ
+	}
+	for _, r := range rows {
+		share := 0.0
+		if grand > 0 {
+			share = 100 * r.TotalJ / grand
+		}
+		fmt.Fprintf(&b, "  %-24s %6.1f%%  %9.1f J  (original %.1f J)\n",
+			r.Label, share, r.TotalJ, r.OriginalJ)
+		for _, c := range r.Collateral {
+			if c.EnergyJ <= 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "      + %-20s %9.1f J\n", pm.Label(c.Driven), c.EnergyJ)
+		}
+	}
+	return b.String()
+}
+
+// RenderAttacks renders the monitor's attack log for diagnostics.
+func RenderAttacks(pm *app.PackageManager, mon *core.Monitor) string {
+	var b strings.Builder
+	attacks := mon.Attacks()
+	fmt.Fprintf(&b, "Collateral attacks observed: %d\n", len(attacks))
+	for _, a := range attacks {
+		state := "active"
+		if !a.Active {
+			state = fmt.Sprintf("ended %v", a.End)
+		}
+		fmt.Fprintf(&b, "  #%d %-14s %s -> %s  begun %v  %s\n",
+			a.ID, a.Vector, pm.Label(a.Driving), pm.Label(a.Driven), a.Begin, state)
+	}
+	return b.String()
+}

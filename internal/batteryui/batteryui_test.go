@@ -1,0 +1,126 @@
+package batteryui_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/accounting"
+	"repro/internal/batteryui"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/scenario"
+)
+
+func attackedWorld(t *testing.T) *scenario.World {
+	t.Helper()
+	w, err := scenario.NewWorld(device.Config{EAndroid: true, Policy: accounting.BatteryStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ForceScreenOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Attack1ComponentHijack(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w.Dev.Flush()
+	return w
+}
+
+func TestRenderBaselineStructure(t *testing.T) {
+	w := attackedWorld(t)
+	out := batteryui.RenderBaseline(w.Dev.Packages, w.Dev.Android, w.Dev.Battery)
+	for _, want := range []string{"batterystats policy", "Camera", "Screen", "System", "%", "J"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("baseline view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEAndroidRowsRankedByTotal(t *testing.T) {
+	w := attackedWorld(t)
+	rows := batteryui.EAndroidRows(w.Dev.Packages, w.Dev.Android, w.Dev.EAndroid)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TotalJ > rows[i-1].TotalJ {
+			t.Fatalf("rows not sorted by total: %v then %v", rows[i-1].TotalJ, rows[i].TotalJ)
+		}
+	}
+	// The malware appears with collateral exceeding its original energy.
+	var mal *batteryui.Row
+	for i := range rows {
+		if rows[i].Label == "FunGame" {
+			mal = &rows[i]
+		}
+	}
+	if mal == nil {
+		t.Fatal("malware row missing")
+	}
+	if len(mal.Collateral) == 0 || mal.TotalJ <= mal.OriginalJ {
+		t.Fatalf("malware row lacks collateral: %+v", mal)
+	}
+}
+
+func TestZeroOriginalRowStillListed(t *testing.T) {
+	// An attacker whose baseline energy is exactly zero must still get a
+	// row from its collateral map.
+	w, err := scenario.NewWorld(device.Config{EAndroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ForceScreenOn(); err != nil {
+		t.Fatal(err)
+	}
+	// The malware binds from the background; it has no activity, so its
+	// own meter reading stays zero (its Daemon service is not running).
+	if _, err := w.Dev.BindService(w.Malware.UID, scenario.PkgVictim+"/Work"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Dev.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w.Dev.Flush()
+	rows := batteryui.EAndroidRows(w.Dev.Packages, w.Dev.Android, w.Dev.EAndroid)
+	found := false
+	for _, r := range rows {
+		if r.Label == "FunGame" && r.OriginalJ == 0 && r.TotalJ > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("zero-original attacker missing from rows: %+v", rows)
+	}
+}
+
+func TestRenderEAndroidShowsCollateralLines(t *testing.T) {
+	w := attackedWorld(t)
+	out := batteryui.RenderEAndroid(w.Dev.Packages, w.Dev.Android, w.Dev.EAndroid, w.Dev.Battery)
+	if !strings.Contains(out, "+ Camera") {
+		t.Fatalf("missing collateral line:\n%s", out)
+	}
+	if !strings.Contains(out, "original") {
+		t.Fatal("missing original energy column")
+	}
+}
+
+func TestRenderEAndroidFrameworkOnlyNote(t *testing.T) {
+	w, err := scenario.NewWorld(device.Config{EAndroid: true, MonitorMode: core.FrameworkOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := batteryui.RenderEAndroid(w.Dev.Packages, w.Dev.Android, w.Dev.EAndroid, w.Dev.Battery)
+	if !strings.Contains(out, "accounting module disabled") {
+		t.Fatalf("framework-only note missing:\n%s", out)
+	}
+}
+
+func TestRenderAttacks(t *testing.T) {
+	w := attackedWorld(t)
+	out := batteryui.RenderAttacks(w.Dev.Packages, w.Dev.EAndroid)
+	if !strings.Contains(out, "activity") || !strings.Contains(out, "FunGame") {
+		t.Fatalf("attack log incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,186 @@
+// Package broadcast implements Android's broadcast subsystem: implicit
+// broadcasts matched against manifest receivers, explicit broadcasts to
+// a named receiver, handler execution windows that wake and bill the
+// receiving process, and the ACTION_USER_PRESENT unlock broadcast the
+// paper's malware listens for to auto-launch stealthily ("some apps
+// would be opened when a user unlocks the screen by monitoring the
+// ACTION_USER_PRESENT intent").
+//
+// Cross-app broadcasts are also an IPC channel that makes another app
+// burn energy, so E-Android's monitor treats a cross-app delivery as a
+// collateral event whose lifecycle spans the receiver's handler window —
+// an extension beyond the paper's five vectors, documented in DESIGN.md.
+package broadcast
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/hw"
+	"repro/internal/intent"
+	"repro/internal/manifest"
+	"repro/internal/sim"
+)
+
+// DefaultHandlerWindow bounds a receiver's onReceive() execution,
+// mirroring Android's ~10 s budget for broadcast receivers.
+const DefaultHandlerWindow = 10 * time.Second
+
+// Delivery is one receiver invocation.
+type Delivery struct {
+	Sender   app.UID
+	Receiver *app.App
+	// Component is the receiver's short name.
+	Component string
+	Action    string
+	// Until is when the handler window closes.
+	Until sim.Time
+}
+
+// Hooks receive broadcast events; E-Android's monitor implements this.
+type Hooks interface {
+	// BroadcastDelivered fires when a receiver's handler window opens.
+	BroadcastDelivered(t sim.Time, d *Delivery)
+	// BroadcastHandlerDone fires when the handler window closes.
+	BroadcastHandlerDone(t sim.Time, d *Delivery)
+}
+
+// HandlerFunc is app code run when a receiver fires (the simulated
+// onReceive body). It runs at delivery time and may start activities,
+// acquire wakelocks, etc.
+type HandlerFunc func(in intent.Intent)
+
+type handlerKey struct {
+	pkg, component string
+}
+
+type handler struct {
+	fn     HandlerFunc
+	window time.Duration
+}
+
+// Manager is the simulated broadcast dispatcher inside "am".
+type Manager struct {
+	engine   *sim.Engine
+	pm       *app.PackageManager
+	resolver *intent.Resolver
+	agg      *hw.Aggregator
+	hooks    []Hooks
+
+	handlers map[handlerKey]handler
+}
+
+// NewManager builds the broadcast manager.
+func NewManager(engine *sim.Engine, pm *app.PackageManager, res *intent.Resolver, agg *hw.Aggregator) (*Manager, error) {
+	if engine == nil || pm == nil || res == nil || agg == nil {
+		return nil, fmt.Errorf("broadcast: nil dependency")
+	}
+	return &Manager{
+		engine:   engine,
+		pm:       pm,
+		resolver: res,
+		agg:      agg,
+		handlers: make(map[handlerKey]handler),
+	}, nil
+}
+
+// AddHooks registers an event consumer.
+func (m *Manager) AddHooks(h Hooks) { m.hooks = append(m.hooks, h) }
+
+// SetHandler attaches app code (and an optional handler window override;
+// zero keeps the default) to a declared receiver.
+func (m *Manager) SetHandler(pkg, component string, window time.Duration, fn HandlerFunc) error {
+	a := m.pm.ByPackage(pkg)
+	if a == nil {
+		return fmt.Errorf("broadcast: no such package %q", pkg)
+	}
+	c := a.Manifest.Component(component)
+	if c == nil || c.Kind != manifest.KindReceiver {
+		return fmt.Errorf("broadcast: %s has no receiver %q", pkg, component)
+	}
+	if window < 0 {
+		return fmt.Errorf("broadcast: negative handler window %v", window)
+	}
+	if window == 0 {
+		window = DefaultHandlerWindow
+	}
+	m.handlers[handlerKey{pkg, component}] = handler{fn: fn, window: window}
+	return nil
+}
+
+// Send dispatches a broadcast. Implicit intents fan out to every
+// matching manifest receiver (export rules apply cross-app); explicit
+// intents target one receiver. Each delivery revives the receiving
+// process, opens a handler window billed to the receiver's UID, and runs
+// the attached handler code.
+func (m *Manager) Send(in intent.Intent) ([]*Delivery, error) {
+	var matches []intent.Match
+	if in.Explicit() {
+		match, err := m.resolver.ResolveExplicit(in, manifest.KindReceiver)
+		if err != nil {
+			return nil, err
+		}
+		matches = []intent.Match{match}
+	} else {
+		var err error
+		matches, err = m.resolver.ResolveImplicit(in, manifest.KindReceiver)
+		if err != nil {
+			return nil, err
+		}
+	}
+	deliveries := make([]*Delivery, 0, len(matches))
+	for _, match := range matches {
+		deliveries = append(deliveries, m.deliver(in, match))
+	}
+	return deliveries, nil
+}
+
+func (m *Manager) deliver(in intent.Intent, match intent.Match) *Delivery {
+	target := match.App
+	if !target.Alive() {
+		target.Revive()
+	}
+	h, hasHandler := m.handlers[handlerKey{target.Package(), match.Component}]
+	window := DefaultHandlerWindow
+	if hasHandler {
+		window = h.window
+	}
+	d := &Delivery{
+		Sender:    in.Sender,
+		Receiver:  target,
+		Component: match.Component,
+		Action:    in.Action,
+		Until:     m.engine.Now().Add(window),
+	}
+	// The handler window bills the receiver's declared workload (plus a
+	// minimal floor so waking a process is never free).
+	w := target.Workload(match.Component)
+	util := w.CPUActive
+	if util < 0.02 {
+		util = 0.02
+	}
+	_ = m.agg.Set(d, target.UID, hw.Demand{CPUUtil: util})
+	for _, hk := range m.hooks {
+		hk.BroadcastDelivered(m.engine.Now(), d)
+	}
+	if hasHandler && h.fn != nil {
+		h.fn(in)
+	}
+	m.engine.After(window, "broadcast.handler-done", func() {
+		_ = m.agg.Clear(d)
+		for _, hk := range m.hooks {
+			hk.BroadcastHandlerDone(m.engine.Now(), d)
+		}
+	})
+	return d
+}
+
+// SendUserPresent dispatches the system's ACTION_USER_PRESENT broadcast
+// (sent when the user unlocks the screen). The sender is the system.
+func (m *Manager) SendUserPresent() ([]*Delivery, error) {
+	return m.Send(intent.Intent{
+		Sender: app.UIDSystem,
+		Action: intent.ActionUserPresent,
+	})
+}

@@ -1,0 +1,229 @@
+package broadcast_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/hw"
+	"repro/internal/intent"
+	"repro/internal/manifest"
+)
+
+func fixture(t *testing.T) (*device.Device, *app.App, *app.App) {
+	t.Helper()
+	dev, err := device.New(device.Config{EAndroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener := dev.Packages.MustInstall(manifest.NewBuilder("com.listen", "Listener").
+		Activity("Main", true).
+		Receiver("UnlockReceiver", true, manifest.IntentFilter{
+			Actions: []string{intent.ActionUserPresent},
+		}).
+		Receiver("Private", false).
+		MustBuild())
+	if err := listener.SetWorkload("UnlockReceiver", app.Workload{CPUActive: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	sender := dev.Packages.MustInstall(manifest.NewBuilder("com.send", "Sender").
+		Activity("Main", true).
+		MustBuild())
+	return dev, listener, sender
+}
+
+func TestImplicitBroadcastFanOut(t *testing.T) {
+	dev, listener, sender := fixture(t)
+	ds, err := dev.Broadcasts.Send(intent.Intent{
+		Sender: sender.UID,
+		Action: intent.ActionUserPresent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Receiver != listener || ds[0].Component != "UnlockReceiver" {
+		t.Fatalf("deliveries = %+v", ds)
+	}
+}
+
+func TestExplicitBroadcastExportRule(t *testing.T) {
+	dev, _, sender := fixture(t)
+	if _, err := dev.Broadcasts.Send(intent.Intent{
+		Sender:    sender.UID,
+		Component: "com.listen/Private",
+	}); err == nil {
+		t.Fatal("cross-app explicit to unexported receiver accepted")
+	}
+	// Same app may target it.
+	listener := dev.Packages.ByPackage("com.listen")
+	if _, err := dev.Broadcasts.Send(intent.Intent{
+		Sender:    listener.UID,
+		Component: "com.listen/Private",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerWindowBillsReceiver(t *testing.T) {
+	dev, listener, sender := fixture(t)
+	if _, err := dev.Broadcasts.Send(intent.Intent{
+		Sender: sender.UID,
+		Action: intent.ActionUserPresent,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Meter.CPUUtil(listener.UID); got != 0.2 {
+		t.Fatalf("handler util = %v, want 0.2", got)
+	}
+	if err := dev.Run(broadcast.DefaultHandlerWindow + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Meter.CPUUtil(listener.UID); got != 0 {
+		t.Fatalf("util after window = %v, want 0", got)
+	}
+	dev.Flush()
+	want := 0.2 * hw.Nexus4().CPUFull / 1000 * broadcast.DefaultHandlerWindow.Seconds()
+	if got := dev.Android.AppJ(listener.UID); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("receiver energy = %v, want ~%v", got, want)
+	}
+}
+
+func TestHandlerFloorForIdleReceivers(t *testing.T) {
+	dev, _, sender := fixture(t)
+	idle := dev.Packages.MustInstall(manifest.NewBuilder("com.idle", "Idle").
+		Receiver("R", true, manifest.IntentFilter{Actions: []string{"act.PING"}}).
+		MustBuild())
+	if _, err := dev.Broadcasts.Send(intent.Intent{Sender: sender.UID, Action: "act.PING"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Meter.CPUUtil(idle.UID); got != 0.02 {
+		t.Fatalf("floor util = %v, want 0.02", got)
+	}
+}
+
+func TestHandlerFuncRuns(t *testing.T) {
+	dev, _, sender := fixture(t)
+	ran := false
+	if err := dev.Broadcasts.SetHandler("com.listen", "UnlockReceiver", 0, func(in intent.Intent) {
+		ran = true
+		if in.Action != intent.ActionUserPresent {
+			t.Errorf("handler got action %q", in.Action)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Broadcasts.Send(intent.Intent{
+		Sender: sender.UID,
+		Action: intent.ActionUserPresent,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("handler did not run")
+	}
+}
+
+func TestSetHandlerValidation(t *testing.T) {
+	dev, _, _ := fixture(t)
+	if err := dev.Broadcasts.SetHandler("com.missing", "R", 0, nil); err == nil {
+		t.Fatal("missing package accepted")
+	}
+	if err := dev.Broadcasts.SetHandler("com.listen", "Main", 0, nil); err == nil {
+		t.Fatal("non-receiver component accepted")
+	}
+	if err := dev.Broadcasts.SetHandler("com.listen", "UnlockReceiver", -time.Second, nil); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+func TestBroadcastRevivesDeadProcess(t *testing.T) {
+	dev, listener, sender := fixture(t)
+	listener.Kill()
+	if _, err := dev.Broadcasts.Send(intent.Intent{
+		Sender: sender.UID,
+		Action: intent.ActionUserPresent,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !listener.Alive() {
+		t.Fatal("broadcast should revive the receiver process")
+	}
+}
+
+func TestUserPresentAutoLaunch(t *testing.T) {
+	// The paper's stealth trigger: malware auto-opens when the user
+	// unlocks the screen.
+	dev, _, _ := fixture(t)
+	mal := dev.Packages.MustInstall(manifest.NewBuilder("com.fun.game", "FunGame").
+		Activity("Main", true).
+		Receiver("Unlock", true, manifest.IntentFilter{
+			Actions: []string{intent.ActionUserPresent},
+		}).
+		MustBuild())
+	started := false
+	if err := dev.Broadcasts.SetHandler("com.fun.game", "Unlock", time.Second, func(intent.Intent) {
+		if _, err := dev.StartActivity(mal.UID, "com.fun.game/Main"); err != nil {
+			t.Error(err)
+		}
+		started = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.UserUnlock(); err != nil {
+		t.Fatal(err)
+	}
+	if !started || dev.Activities.Foreground() != mal.UID {
+		t.Fatal("auto-launch on unlock failed")
+	}
+	// Starting its own activity from its own receiver is not collateral.
+	for _, a := range dev.EAndroid.Attacks() {
+		if a.Vector == core.VectorActivity {
+			t.Fatalf("self start registered as attack: %v", a)
+		}
+	}
+}
+
+func TestCrossAppBroadcastIsCollateral(t *testing.T) {
+	dev, listener, sender := fixture(t)
+	if _, err := dev.Broadcasts.Send(intent.Intent{
+		Sender: sender.UID,
+		Action: intent.ActionUserPresent,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	atks := dev.EAndroid.ActiveAttacks()
+	if len(atks) != 1 || atks[0].Vector != core.VectorBroadcast ||
+		atks[0].Driving != sender.UID || atks[0].Driven != listener.UID {
+		t.Fatalf("attacks = %v", atks)
+	}
+	if err := dev.Run(broadcast.DefaultHandlerWindow + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.EAndroid.ActiveAttacks()) != 0 {
+		t.Fatal("broadcast attack should end with the handler window")
+	}
+	dev.Flush()
+	// The receiver's handler energy lands on the sender's map.
+	if dev.EAndroid.CollateralJ(sender.UID) <= 0 {
+		t.Fatal("broadcast collateral energy missing")
+	}
+}
+
+func TestSystemBroadcastNotAnAttack(t *testing.T) {
+	dev, _, _ := fixture(t)
+	if _, err := dev.UserUnlock(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(dev.EAndroid.ActiveAttacks()); n != 0 {
+		t.Fatalf("system unlock registered %d attacks", n)
+	}
+}
+
+func TestNewManagerNilDeps(t *testing.T) {
+	if _, err := broadcast.NewManager(nil, nil, nil, nil); err == nil {
+		t.Fatal("nil deps accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/app"
+	"repro/internal/hw"
+)
+
+var _ hw.Sink = (*Monitor)(nil)
+
+// ChargePolicy selects how a driven party's energy is superimposed onto
+// the apps driving it. The paper's strategy is straightforward — "counts
+// the driven app's energy consumption in the attack period to the
+// driving app", i.e. each driver is charged in full — and notes that "a
+// sophisticated policy could be easily applied"; ChargeSplit is one such
+// refinement.
+type ChargePolicy int
+
+// Charge policies.
+const (
+	// ChargeFullToEach charges every driving app (and chain ancestor)
+	// the driven party's full energy — the paper's policy.
+	ChargeFullToEach ChargePolicy = iota + 1
+	// ChargeSplit divides the driven party's energy equally among the
+	// beneficiaries, so the superimposed total never exceeds the energy
+	// actually drawn.
+	ChargeSplit
+)
+
+func (p ChargePolicy) String() string {
+	switch p {
+	case ChargeFullToEach:
+		return "full-to-each"
+	case ChargeSplit:
+		return "split"
+	}
+	return fmt.Sprintf("ChargePolicy(%d)", int(p))
+}
+
+// SetChargePolicy selects the collateral charge policy (default
+// ChargeFullToEach, the paper's).
+func (m *Monitor) SetChargePolicy(p ChargePolicy) error {
+	if p != ChargeFullToEach && p != ChargeSplit {
+		return fmt.Errorf("core: invalid charge policy %d", int(p))
+	}
+	m.chargePolicy = p
+	return nil
+}
+
+// ChargePolicy reports the active policy.
+func (m *Monitor) ChargePolicy() ChargePolicy {
+	if m.chargePolicy == 0 {
+		return ChargeFullToEach
+	}
+	return m.chargePolicy
+}
+
+// Accrue implements hw.Sink: for every integrated interval it
+// superimposes each driven party's energy onto the collateral maps of
+// every app currently driving it — directly or through an active attack
+// chain (the paper's hybrid attack: "it is reasonable to charge the
+// energy drained by C and the screen to A").
+//
+// A (beneficiary, driven) pair is charged at most once per interval, so
+// multi-collateral attacks (Fig. 6: start + bind + interrupt on the same
+// victim) never double-charge the same driving app.
+func (m *Monitor) Accrue(iv hw.Interval) {
+	// Raw own-energy bookkeeping for the revised battery views runs in
+	// every mode that has the sink attached.
+	for uid, u := range iv.PerUID {
+		m.ownJ[uid] += u.Total()
+	}
+	m.screenJ += iv.ScreenJ
+
+	if m.mode != Complete || len(m.activeByDriven) == 0 {
+		return
+	}
+
+	// Deterministic driven order.
+	drivens := make([]app.UID, 0, len(m.activeByDriven))
+	for d := range m.activeByDriven {
+		drivens = append(drivens, d)
+	}
+	sort.Slice(drivens, func(i, j int) bool { return drivens[i] < drivens[j] })
+
+	type pair struct{ g, d app.UID }
+	charged := make(map[pair]bool)
+
+	for _, d := range drivens {
+		var delta float64
+		if d == app.UIDScreen {
+			delta = iv.ScreenJ
+		} else {
+			delta = iv.PerUID[d].Total()
+		}
+		if delta == 0 {
+			continue
+		}
+		// Every direct driver and every transitive ancestor is charged
+		// once.
+		beneficiaries := map[app.UID]bool{}
+		for _, a := range m.activeByDriven[d] {
+			beneficiaries[a.Driving] = true
+			for _, anc := range m.ancestorsOf(a.Driving) {
+				beneficiaries[anc] = true
+			}
+		}
+		order := make([]app.UID, 0, len(beneficiaries))
+		for g := range beneficiaries {
+			if g != d {
+				order = append(order, g)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		share := delta
+		if m.ChargePolicy() == ChargeSplit && len(order) > 0 {
+			share = delta / float64(len(order))
+		}
+		for _, g := range order {
+			if charged[pair{g, d}] {
+				continue
+			}
+			charged[pair{g, d}] = true
+			m.ensureEntry(g, d)
+			m.maps[g][d].EnergyJ += share
+		}
+	}
+}
+
+// CollateralMap returns the driving app's collateral energy map entries,
+// sorted by descending energy then driven UID.
+func (m *Monitor) CollateralMap(driving app.UID) []MapEntry {
+	mp := m.maps[driving]
+	out := make([]MapEntry, 0, len(mp))
+	for _, e := range mp {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EnergyJ != out[j].EnergyJ {
+			return out[i].EnergyJ > out[j].EnergyJ
+		}
+		return out[i].Driven < out[j].Driven
+	})
+	return out
+}
+
+// CollateralJ reports the total collateral energy charged to driving.
+func (m *Monitor) CollateralJ(driving app.UID) float64 {
+	var t float64
+	for _, e := range m.maps[driving] {
+		t += e.EnergyJ
+	}
+	return t
+}
+
+// OwnJ reports the raw hardware energy uid's own components drew
+// (excluding screen), as tracked by the monitor.
+func (m *Monitor) OwnJ(uid app.UID) float64 { return m.ownJ[uid] }
+
+// ScreenTotalJ reports total screen energy observed.
+func (m *Monitor) ScreenTotalJ() float64 { return m.screenJ }
+
+// Breakdown is one row of the revised battery interface: the app's
+// original (policy-attributed) energy plus its collateral inventory.
+type Breakdown struct {
+	UID        app.UID
+	OriginalJ  float64
+	Collateral []MapEntry
+	TotalJ     float64
+}
+
+// BreakdownFor builds the revised view row for one app given its
+// original policy-attributed energy (from an accounting.Accountant).
+func (m *Monitor) BreakdownFor(uid app.UID, originalJ float64) Breakdown {
+	col := m.CollateralMap(uid)
+	total := originalJ
+	for _, e := range col {
+		total += e.EnergyJ
+	}
+	return Breakdown{UID: uid, OriginalJ: originalJ, Collateral: col, TotalJ: total}
+}

@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"repro/internal/intent"
+	"repro/internal/manifest"
+
+	"repro/internal/app"
+)
+
+// manifestBuilderForShare declares an app handling the SEND action, used
+// by the resolver-attribution test.
+func manifestBuilderForShare(pkg, label string) *manifest.Manifest {
+	return manifest.NewBuilder(pkg, label).
+		Activity("Share", true, manifest.IntentFilter{
+			Actions:    []string{intent.ActionSend},
+			Categories: []string{intent.CategoryDefault},
+		}).
+		MustBuild()
+}
+
+// intentForShare builds the implicit SEND intent the test dispatches.
+func intentForShare(sender app.UID) intent.Intent {
+	return intent.Intent{
+		Sender:     sender,
+		Action:     intent.ActionSend,
+		Categories: []string{intent.CategoryDefault},
+	}
+}
+
+// intentExplicit builds an explicit intent for tests.
+func intentExplicit(sender app.UID, component string) intent.Intent {
+	return intent.Intent{Sender: sender, Component: component}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/hw"
+	"repro/internal/manifest"
+	"repro/internal/sim"
+)
+
+// wbFixture builds a monitor with three plain apps for direct white-box
+// manipulation of attack state.
+func wbFixture(t *testing.T) (*sim.Engine, *app.PackageManager, *Monitor, [3]app.UID) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	pm := app.NewPackageManager()
+	var uids [3]app.UID
+	for i, pkg := range []string{"com.a", "com.b", "com.c"} {
+		a := pm.MustInstall(manifest.NewBuilder(pkg, pkg).Activity("Main", true).MustBuild())
+		uids[i] = a.UID
+	}
+	m, err := NewMonitor(e, pm, Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, pm, m, uids
+}
+
+func interval(perUID map[app.UID]float64, screenJ float64) hw.Interval {
+	iv := hw.Interval{PerUID: make(map[app.UID]hw.Usage), ScreenJ: screenJ}
+	for uid, j := range perUID {
+		iv.PerUID[uid] = hw.Usage{hw.CPU: j}
+	}
+	return iv
+}
+
+func TestAncestorsOfChain(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a, b, c := u[0], u[1], u[2]
+	m.beginAttack(VectorServiceBind, a, b, "ab")
+	m.beginAttack(VectorActivity, b, c, "bc")
+	anc := m.ancestorsOf(c)
+	if len(anc) != 2 || anc[0] != a || anc[1] != b {
+		t.Fatalf("ancestors(c) = %v, want [a b]", anc)
+	}
+	if got := m.ancestorsOf(a); len(got) != 0 {
+		t.Fatalf("ancestors(a) = %v, want none", got)
+	}
+}
+
+func TestAncestorsOfCycleSafe(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a, b := u[0], u[1]
+	// A drives B and B drives A: the walk must terminate.
+	m.beginAttack(VectorServiceBind, a, b, "ab")
+	m.beginAttack(VectorServiceBind, b, a, "ba")
+	if anc := m.ancestorsOf(a); len(anc) != 1 || anc[0] != b {
+		t.Fatalf("ancestors(a) = %v", anc)
+	}
+	if anc := m.ancestorsOf(b); len(anc) != 1 || anc[0] != a {
+		t.Fatalf("ancestors(b) = %v", anc)
+	}
+	// A cyclic pair never charges a party for its own energy.
+	m.Accrue(interval(map[app.UID]float64{a: 1, b: 2}, 0))
+	for _, e := range m.CollateralMap(a) {
+		if e.Driven == a {
+			t.Fatal("a charged for itself")
+		}
+	}
+}
+
+func TestBeginAttackReplacesIdentical(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a, b := u[0], u[1]
+	first := m.beginAttack(VectorActivity, a, b, nil)
+	second := m.beginAttack(VectorActivity, a, b, nil)
+	if first.Active {
+		t.Fatal("EndLastAttack: identical attack should have been ended")
+	}
+	if !second.Active {
+		t.Fatal("replacement attack should be active")
+	}
+	if len(m.ActiveAttacks()) != 1 {
+		t.Fatalf("active = %d", len(m.ActiveAttacks()))
+	}
+}
+
+func TestServiceBeginPullsExistingElements(t *testing.T) {
+	// Algorithm 1's service clause: when A binds B and B already drives
+	// C, C's element appears in A's map immediately.
+	_, _, m, u := wbFixture(t)
+	a, b, c := u[0], u[1], u[2]
+	m.beginAttack(VectorActivity, b, c, "bc")
+	m.beginAttack(VectorServiceBind, a, b, "ab")
+	found := false
+	for _, e := range m.CollateralMap(a) {
+		if e.Driven == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("A's map lacks C after service bind: %+v", m.CollateralMap(a))
+	}
+}
+
+func TestChargeFullToEach(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a, b, c := u[0], u[1], u[2]
+	// A and B independently attack C.
+	m.beginAttack(VectorActivity, a, c, "ac")
+	m.beginAttack(VectorServiceBind, b, c, "bc")
+	m.Accrue(interval(map[app.UID]float64{c: 10}, 0))
+	if got := entry(m, a, c); got != 10 {
+		t.Fatalf("a charged %v, want full 10", got)
+	}
+	if got := entry(m, b, c); got != 10 {
+		t.Fatalf("b charged %v, want full 10", got)
+	}
+}
+
+func TestChargeSplit(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a, b, c := u[0], u[1], u[2]
+	if err := m.SetChargePolicy(ChargeSplit); err != nil {
+		t.Fatal(err)
+	}
+	m.beginAttack(VectorActivity, a, c, "ac")
+	m.beginAttack(VectorServiceBind, b, c, "bc")
+	m.Accrue(interval(map[app.UID]float64{c: 10}, 0))
+	if got := entry(m, a, c); got != 5 {
+		t.Fatalf("a charged %v, want split 5", got)
+	}
+	if got := entry(m, b, c); got != 5 {
+		t.Fatalf("b charged %v, want split 5", got)
+	}
+	// Under split, the superimposed total never exceeds the source.
+	if total := m.CollateralJ(a) + m.CollateralJ(b); total > 10 {
+		t.Fatalf("split total %v exceeds source", total)
+	}
+}
+
+func TestSetChargePolicyValidation(t *testing.T) {
+	_, _, m, _ := wbFixture(t)
+	if err := m.SetChargePolicy(ChargePolicy(0)); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+	if m.ChargePolicy() != ChargeFullToEach {
+		t.Fatal("default policy should be full-to-each")
+	}
+	if ChargeFullToEach.String() != "full-to-each" || ChargeSplit.String() != "split" {
+		t.Fatal("policy names")
+	}
+	if !strings.Contains(ChargePolicy(9).String(), "9") {
+		t.Fatal("unknown policy stringer")
+	}
+}
+
+func TestScreenDeltaChargedToScreenAttacker(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a := u[0]
+	m.beginAttack(VectorScreen, a, app.UIDScreen, nil)
+	m.Accrue(interval(nil, 7))
+	if got := entry(m, a, app.UIDScreen); got != 7 {
+		t.Fatalf("screen charge = %v, want 7", got)
+	}
+}
+
+func TestZeroDeltaChargesNothing(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a, b := u[0], u[1]
+	m.beginAttack(VectorActivity, a, b, nil)
+	m.Accrue(interval(map[app.UID]float64{}, 0))
+	if got := m.CollateralJ(a); got != 0 {
+		t.Fatalf("charged %v from empty interval", got)
+	}
+}
+
+func TestEndedAttackKeepsAccumulatedEnergy(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a, b := u[0], u[1]
+	atk := m.beginAttack(VectorActivity, a, b, nil)
+	m.Accrue(interval(map[app.UID]float64{b: 4}, 0))
+	m.endAttack(atk)
+	m.Accrue(interval(map[app.UID]float64{b: 100}, 0))
+	if got := entry(m, a, b); got != 4 {
+		t.Fatalf("post-end accrual changed entry: %v", got)
+	}
+}
+
+func TestEntriesWithActiveLinks(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a, b, c := u[0], u[1], u[2]
+	m.beginAttack(VectorActivity, a, b, "ab")
+	atk := m.beginAttack(VectorActivity, a, c, "ac")
+	got := m.entriesWithActiveLinks(a)
+	if len(got) != 2 || got[0] != b || got[1] != c {
+		t.Fatalf("entries = %v", got)
+	}
+	m.endAttack(atk)
+	got = m.entriesWithActiveLinks(a)
+	if len(got) != 1 || got[0] != b {
+		t.Fatalf("entries after end = %v", got)
+	}
+}
+
+func entry(m *Monitor, g, d app.UID) float64 {
+	for _, e := range m.CollateralMap(g) {
+		if e.Driven == d {
+			return e.EnergyJ
+		}
+	}
+	return 0
+}
+
+func TestHistoryLimit(t *testing.T) {
+	_, _, m, u := wbFixture(t)
+	a, b := u[0], u[1]
+	if err := m.SetHistoryLimit(-1); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+	if err := m.SetHistoryLimit(3); err != nil {
+		t.Fatal(err)
+	}
+	// Churn: begin+end many attacks; history stays bounded.
+	for i := 0; i < 20; i++ {
+		atk := m.beginAttack(VectorActivity, a, b, nil)
+		m.endAttack(atk)
+		m.record("x", a, b, "churn")
+	}
+	if len(m.Attacks()) > 3 {
+		t.Fatalf("attack history = %d, want ≤3", len(m.Attacks()))
+	}
+	if len(m.Events()) > 3 {
+		t.Fatalf("event log = %d, want ≤3", len(m.Events()))
+	}
+	// A live attack survives trimming even when the cap is exceeded.
+	live := m.beginAttack(VectorServiceBind, a, b, "conn")
+	for i := 0; i < 10; i++ {
+		atk := m.beginAttack(VectorActivity, a, b, nil)
+		m.endAttack(atk)
+	}
+	found := false
+	for _, atk := range m.Attacks() {
+		if atk == live {
+			found = true
+		}
+	}
+	if !found || !live.Active {
+		t.Fatal("live attack dropped by history trim")
+	}
+}

@@ -1,0 +1,226 @@
+// Package display reimplements the Android screen-configuration surface
+// the paper's attack #5 abuses: the brightness setting (0-255), the
+// manual/auto brightness mode, and the settings provider whose saved
+// value only takes effect once the mode is manual.
+package display
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/hw"
+	"repro/internal/manifest"
+	"repro/internal/sim"
+)
+
+// Mode is the brightness control mode.
+type Mode int
+
+// Brightness modes.
+const (
+	// Manual applies the user/app-set level directly.
+	Manual Mode = iota + 1
+	// Auto lets the ambient light sensor pick the level; app-set values
+	// are saved to the settings provider but not applied.
+	Auto
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Manual:
+		return "manual"
+	case Auto:
+		return "auto"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Source records who performed a settings change.
+type Source int
+
+// Change sources.
+const (
+	// SourceApp is a third-party app writing settings.
+	SourceApp Source = iota + 1
+	// SourceSystemUI is the user acting through the system UI sliders.
+	SourceSystemUI
+	// SourceSensor is the ambient light sensor in auto mode.
+	SourceSensor
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceApp:
+		return "app"
+	case SourceSystemUI:
+		return "system-ui"
+	case SourceSensor:
+		return "sensor"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// Hooks receive display configuration events; E-Android's monitor
+// implements this interface.
+type Hooks interface {
+	BrightnessChanged(t sim.Time, by app.UID, source Source, old, new int)
+	ModeChanged(t sim.Time, by app.UID, source Source, old, new Mode)
+}
+
+// Display is the simulated screen-configuration service plus the
+// brightness rows of the settings provider.
+type Display struct {
+	engine *sim.Engine
+	meter  *hw.Meter
+	pm     *app.PackageManager
+	hooks  []Hooks
+
+	mode        Mode
+	savedLevel  int // settings-provider value (applied when Manual)
+	sensorLevel int // ambient-sensor choice (applied when Auto)
+}
+
+// DefaultBrightness is the mid-scale default level a fresh device boots
+// with.
+const DefaultBrightness = 102
+
+// New builds the display service. The device starts in manual mode at the
+// default brightness.
+func New(engine *sim.Engine, meter *hw.Meter, pm *app.PackageManager) (*Display, error) {
+	if engine == nil || meter == nil || pm == nil {
+		return nil, fmt.Errorf("display: nil dependency")
+	}
+	d := &Display{
+		engine:      engine,
+		meter:       meter,
+		pm:          pm,
+		mode:        Manual,
+		savedLevel:  DefaultBrightness,
+		sensorLevel: DefaultBrightness,
+	}
+	meter.SetBrightness(DefaultBrightness)
+	return d, nil
+}
+
+// AddHooks registers an event consumer.
+func (d *Display) AddHooks(h Hooks) { d.hooks = append(d.hooks, h) }
+
+// Mode reports the current brightness mode.
+func (d *Display) Mode() Mode { return d.mode }
+
+// Brightness reports the currently applied level.
+func (d *Display) Brightness() int { return d.meter.Brightness() }
+
+// SavedBrightness reports the settings-provider value (which may differ
+// from the applied level while in auto mode).
+func (d *Display) SavedBrightness() int { return d.savedLevel }
+
+func clampLevel(level int) int {
+	if level < 0 {
+		return 0
+	}
+	if level > hw.MaxBrightness {
+		return hw.MaxBrightness
+	}
+	return level
+}
+
+func (d *Display) checkWriter(by app.UID, source Source) error {
+	if source != SourceApp {
+		return nil
+	}
+	a := d.pm.ByUID(by)
+	if a == nil {
+		return fmt.Errorf("display: unknown uid %d", by)
+	}
+	if a.System {
+		return nil
+	}
+	if !a.Manifest.HasPermission(manifest.PermWriteSettings) {
+		return fmt.Errorf("display: %s lacks %s", a.Package(), manifest.PermWriteSettings)
+	}
+	return nil
+}
+
+// SetBrightness writes the brightness setting. App writers need the
+// WRITE_SETTINGS permission. In manual mode the level applies
+// immediately; in auto mode it is saved but not applied (the paper's
+// malware #5 must therefore also flip the mode, or piggyback on a
+// system-set value).
+func (d *Display) SetBrightness(by app.UID, source Source, level int) error {
+	if err := d.checkWriter(by, source); err != nil {
+		return err
+	}
+	level = clampLevel(level)
+	old := d.Brightness()
+	d.savedLevel = level
+	if d.mode == Manual || source == SourceSystemUI {
+		if source == SourceSystemUI && d.mode == Auto {
+			// User dragging the slider implicitly leaves auto mode.
+			d.setMode(by, source, Manual)
+		}
+		d.meter.SetBrightness(level)
+	}
+	applied := d.Brightness()
+	if applied != old || d.savedLevel != old {
+		for _, h := range d.hooks {
+			h.BrightnessChanged(d.engine.Now(), by, source, old, applied)
+		}
+	}
+	return nil
+}
+
+// SetMode switches between manual and auto brightness. Switching to
+// manual applies the saved settings-provider level; switching to auto
+// hands control back to the sensor.
+func (d *Display) SetMode(by app.UID, source Source, mode Mode) error {
+	if mode != Manual && mode != Auto {
+		return fmt.Errorf("display: invalid mode %d", int(mode))
+	}
+	if err := d.checkWriter(by, source); err != nil {
+		return err
+	}
+	if d.mode == mode {
+		return nil
+	}
+	d.setMode(by, source, mode)
+	return nil
+}
+
+func (d *Display) setMode(by app.UID, source Source, mode Mode) {
+	old := d.mode
+	d.mode = mode
+	for _, h := range d.hooks {
+		h.ModeChanged(d.engine.Now(), by, source, old, mode)
+	}
+	oldLevel := d.Brightness()
+	switch mode {
+	case Manual:
+		d.meter.SetBrightness(d.savedLevel)
+	case Auto:
+		d.meter.SetBrightness(d.sensorLevel)
+	}
+	if d.Brightness() != oldLevel {
+		for _, h := range d.hooks {
+			h.BrightnessChanged(d.engine.Now(), by, source, oldLevel, d.Brightness())
+		}
+	}
+}
+
+// SensorReading feeds an ambient light sensor value; it only affects the
+// applied level in auto mode.
+func (d *Display) SensorReading(level int) {
+	level = clampLevel(level)
+	d.sensorLevel = level
+	if d.mode != Auto {
+		return
+	}
+	old := d.Brightness()
+	if old == level {
+		return
+	}
+	d.meter.SetBrightness(level)
+	for _, h := range d.hooks {
+		h.BrightnessChanged(d.engine.Now(), app.UIDSystem, SourceSensor, old, level)
+	}
+}

@@ -1,0 +1,136 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/app"
+)
+
+// Demand is the hardware load one framework entity (a live activity, a
+// running service) places on the device.
+type Demand struct {
+	CPUUtil float64
+	Camera  bool
+	GPS     bool
+	WiFi    bool
+	Audio   bool
+}
+
+type demandEntry struct {
+	uid    app.UID
+	demand Demand
+}
+
+// Aggregator sums per-entity hardware demands into per-UID meter state.
+// The activity and service managers both contribute entries (keyed by
+// their records), so a UID's CPU utilization is the sum of all of its
+// live components' demands.
+type Aggregator struct {
+	meter   *Meter
+	entries map[any]demandEntry
+	cpu     map[app.UID]float64
+}
+
+// NewAggregator returns an aggregator driving the given meter.
+func NewAggregator(meter *Meter) (*Aggregator, error) {
+	if meter == nil {
+		return nil, fmt.Errorf("hw: nil meter")
+	}
+	return &Aggregator{
+		meter:   meter,
+		entries: make(map[any]demandEntry),
+		cpu:     make(map[app.UID]float64),
+	}, nil
+}
+
+// Set records (or replaces) the demand contributed by key on behalf of
+// uid. A zero demand still counts as an entry; use Clear to remove it.
+// Changing the uid for an existing key is rejected: records never migrate
+// between apps.
+func (g *Aggregator) Set(key any, uid app.UID, d Demand) error {
+	if key == nil {
+		return fmt.Errorf("hw: nil aggregator key")
+	}
+	prev, existed := g.entries[key]
+	if existed && prev.uid != uid {
+		return fmt.Errorf("hw: aggregator key moved from uid %d to %d", prev.uid, uid)
+	}
+	if d.CPUUtil < 0 {
+		d.CPUUtil = 0
+	}
+	if d.CPUUtil > 1 {
+		d.CPUUtil = 1
+	}
+	g.entries[key] = demandEntry{uid: uid, demand: d}
+	g.recomputeCPU(uid)
+	if err := g.applyHold(Camera, uid, prev.demand.Camera, d.Camera); err != nil {
+		return err
+	}
+	if err := g.applyHold(GPS, uid, prev.demand.GPS, d.GPS); err != nil {
+		return err
+	}
+	if err := g.applyHold(WiFi, uid, prev.demand.WiFi, d.WiFi); err != nil {
+		return err
+	}
+	return g.applyHold(Audio, uid, prev.demand.Audio, d.Audio)
+}
+
+// Clear removes the demand contributed by key. Clearing an absent key is
+// a no-op.
+func (g *Aggregator) Clear(key any) error {
+	prev, ok := g.entries[key]
+	if !ok {
+		return nil
+	}
+	delete(g.entries, key)
+	g.recomputeCPU(prev.uid)
+	if err := g.applyHold(Camera, prev.uid, prev.demand.Camera, false); err != nil {
+		return err
+	}
+	if err := g.applyHold(GPS, prev.uid, prev.demand.GPS, false); err != nil {
+		return err
+	}
+	if err := g.applyHold(WiFi, prev.uid, prev.demand.WiFi, false); err != nil {
+		return err
+	}
+	return g.applyHold(Audio, prev.uid, prev.demand.Audio, false)
+}
+
+// recomputeCPU re-sums uid's utilization from scratch. Recomputing (as
+// opposed to applying deltas) keeps the total exactly equal to the sum of
+// live entries, with no floating-point drift across churn. The values
+// are sorted before summation: map iteration order would otherwise
+// reorder floating-point additions and break bit-determinism.
+func (g *Aggregator) recomputeCPU(uid app.UID) {
+	var utils []float64
+	for _, e := range g.entries {
+		if e.uid == uid {
+			utils = append(utils, e.demand.CPUUtil)
+		}
+	}
+	sort.Float64s(utils)
+	var total float64
+	for _, u := range utils {
+		total += u
+	}
+	if total == 0 {
+		delete(g.cpu, uid)
+	} else {
+		g.cpu[uid] = total
+	}
+	g.meter.SetCPUUtil(uid, total) // meter clamps to [0,1]
+}
+
+func (g *Aggregator) applyHold(c Component, uid app.UID, was, is bool) error {
+	switch {
+	case !was && is:
+		return g.meter.Hold(c, uid)
+	case was && !is:
+		return g.meter.Release(c, uid)
+	}
+	return nil
+}
+
+// CPUUtil reports the aggregate (unclamped) utilization for uid.
+func (g *Aggregator) CPUUtil(uid app.UID) float64 { return g.cpu[uid] }

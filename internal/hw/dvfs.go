@@ -1,0 +1,113 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FreqLevel is one DVFS operating point: a core frequency and the draw
+// of a fully-busy core at that frequency. PowerTutor's CPU model is
+// per-frequency ("P = c_f * util_f"); this reproduces that shape.
+type FreqLevel struct {
+	MHz      int
+	ActiveMW float64
+}
+
+// Nexus4DVFS returns the default profile with an ondemand-style DVFS
+// ladder enabled (Snapdragon S4 Pro-like operating points). With DVFS,
+// light loads run at low frequency and draw disproportionately less than
+// the linear model predicts.
+func Nexus4DVFS() Profile {
+	p := Nexus4()
+	p.CPUFreqs = []FreqLevel{
+		{MHz: 384, ActiveMW: 110},
+		{MHz: 702, ActiveMW: 210},
+		{MHz: 1026, ActiveMW: 330},
+		{MHz: 1242, ActiveMW: 440},
+		{MHz: 1512, ActiveMW: 600},
+	}
+	return p
+}
+
+// validateFreqs checks the DVFS ladder (empty = linear model, valid).
+func (p Profile) validateFreqs() error {
+	if len(p.CPUFreqs) == 0 {
+		return nil
+	}
+	for i, f := range p.CPUFreqs {
+		if f.MHz <= 0 || f.ActiveMW <= 0 {
+			return fmt.Errorf("hw: freq level %d not positive: %+v", i, f)
+		}
+		if i > 0 {
+			prev := p.CPUFreqs[i-1]
+			if f.MHz <= prev.MHz {
+				return fmt.Errorf("hw: freq levels not ascending at %d", i)
+			}
+			if f.ActiveMW < prev.ActiveMW {
+				return fmt.Errorf("hw: freq power not monotone at %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// governorLevel picks the lowest operating point whose relative capacity
+// covers the total utilization (ondemand-like). totalUtil is relative to
+// the top frequency.
+func (p Profile) governorLevel(totalUtil float64) FreqLevel {
+	levels := p.CPUFreqs
+	top := float64(levels[len(levels)-1].MHz)
+	idx := sort.Search(len(levels), func(i int) bool {
+		return float64(levels[i].MHz)/top >= totalUtil
+	})
+	if idx >= len(levels) {
+		idx = len(levels) - 1
+	}
+	return levels[idx]
+}
+
+// effectiveCPUFullMW reports the marginal cost, in mW per unit of
+// (top-frequency-relative) utilization, at the current operating point.
+// With an empty ladder this is the linear model's CPUFull.
+//
+// At level f with relative capacity c = MHz_f / MHz_top, a total load U
+// keeps the core busy U/c of the time, drawing (U/c)·ActiveMW_f — so the
+// marginal cost is ActiveMW_f / c.
+func (p Profile) effectiveCPUFullMW(totalUtil float64) float64 {
+	if len(p.CPUFreqs) == 0 {
+		return p.CPUFull
+	}
+	if totalUtil <= 0 {
+		totalUtil = 0
+	}
+	if totalUtil > 1 {
+		totalUtil = 1
+	}
+	lvl := p.governorLevel(totalUtil)
+	top := float64(p.CPUFreqs[len(p.CPUFreqs)-1].MHz)
+	capacity := float64(lvl.MHz) / top
+	return lvl.ActiveMW / capacity
+}
+
+// totalCPUUtil sums the per-app utilizations, clamped to one core.
+func (m *Meter) totalCPUUtil() float64 {
+	var utils []float64
+	for _, u := range m.cpuUtil {
+		utils = append(utils, u)
+	}
+	sort.Float64s(utils)
+	var total float64
+	for _, u := range utils {
+		total += u
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// cpuMarginalMW is the per-unit-utilization CPU cost at the current
+// operating point.
+func (m *Meter) cpuMarginalMW() float64 {
+	return m.profile.effectiveCPUFullMW(m.totalCPUUtil())
+}

@@ -1,0 +1,501 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+)
+
+// Usage is per-component energy in joules attributed to one app.
+type Usage map[Component]float64
+
+// Total sums the usage across components. Summation runs in fixed
+// component order so results are bit-deterministic across runs (Go map
+// iteration order would otherwise reorder floating-point additions).
+func (u Usage) Total() float64 {
+	var t float64
+	for _, c := range Components() {
+		t += u[c]
+	}
+	return t
+}
+
+// Clone returns an independent copy.
+func (u Usage) Clone() Usage {
+	c := make(Usage, len(u))
+	for k, v := range u {
+		c[k] = v
+	}
+	return c
+}
+
+// Add accumulates other into u.
+func (u Usage) Add(other Usage) {
+	for k, v := range other {
+		u[k] += v
+	}
+}
+
+// Interval is one integrated span of constant power, delivered to sinks.
+type Interval struct {
+	From, To sim.Time
+	// PerUID holds each app's own hardware energy over the interval
+	// (CPU, camera, GPS, WiFi, audio — everything except the screen).
+	PerUID map[app.UID]Usage
+	// ScreenJ is display energy over the interval; its attribution is a
+	// policy decision made downstream, so the meter reports it raw.
+	ScreenJ float64
+	// SystemJ is platform base energy (suspend or idle-awake draw).
+	SystemJ float64
+}
+
+// Duration reports the interval length.
+func (iv Interval) Duration() sim.Duration { return iv.To.Sub(iv.From) }
+
+// Sink consumes integrated intervals. The meter calls sinks in
+// registration order with the same Interval value; sinks must not retain
+// or mutate PerUID.
+type Sink interface {
+	Accrue(Interval)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Interval)
+
+// Accrue implements Sink.
+func (f SinkFunc) Accrue(iv Interval) { f(iv) }
+
+// Meter tracks device hardware state and integrates energy exactly over
+// each span of constant power.
+//
+// All state setters first close the current interval (integrating energy
+// at the old power level up to now), then apply the change, so callers
+// never need to worry about ordering within a single instant.
+type Meter struct {
+	now     func() sim.Time
+	profile Profile
+	battery *Battery
+	sinks   []Sink
+
+	lastT sim.Time
+
+	suspended  bool
+	screenOn   bool
+	screenDim  bool
+	brightness int
+
+	cpuUtil map[app.UID]float64
+	// Peripheral holds are counted (an app may hold a device from
+	// several components at once).
+	holds map[Component]map[app.UID]int
+
+	// wifiTails tracks per-app radio ramp-down: after an app's last WiFi
+	// hold drops, the radio lingers in its low-power state until the
+	// recorded instant, still billed to that app (tail energy). Accrual
+	// splits intervals at tail expiries, so tail energy stays exact.
+	wifiTails map[app.UID]sim.Time
+}
+
+// NewMeter builds a meter over the given clock, profile and battery.
+// Sinks may be added later with AddSink.
+func NewMeter(now func() sim.Time, profile Profile, battery *Battery) (*Meter, error) {
+	if now == nil {
+		return nil, fmt.Errorf("hw: nil clock")
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	if battery == nil {
+		return nil, fmt.Errorf("hw: nil battery")
+	}
+	m := &Meter{
+		now:        now,
+		profile:    profile,
+		battery:    battery,
+		lastT:      now(),
+		brightness: 102, // Android's default ~40% brightness
+		cpuUtil:    make(map[app.UID]float64),
+		holds:      make(map[Component]map[app.UID]int),
+		wifiTails:  make(map[app.UID]sim.Time),
+	}
+	return m, nil
+}
+
+// AddSink registers a consumer of integrated intervals.
+func (m *Meter) AddSink(s Sink) { m.sinks = append(m.sinks, s) }
+
+// Profile returns the active power profile.
+func (m *Meter) Profile() Profile { return m.profile }
+
+// Battery returns the battery being drained.
+func (m *Meter) Battery() *Battery { return m.battery }
+
+// ScreenOn reports whether the display is lit.
+func (m *Meter) ScreenOn() bool { return m.screenOn }
+
+// Brightness reports the current brightness level (0-255).
+func (m *Meter) Brightness() int { return m.brightness }
+
+// Suspended reports whether the platform is in deep sleep.
+func (m *Meter) Suspended() bool { return m.suspended }
+
+// CPUUtil reports the utilization currently attributed to uid.
+func (m *Meter) CPUUtil(uid app.UID) float64 { return m.cpuUtil[uid] }
+
+// Flush integrates energy up to the current instant without changing any
+// state. Call before reading accounting results.
+func (m *Meter) Flush() { m.accrue() }
+
+// SetSuspended moves the platform in or out of deep sleep. While
+// suspended, app CPU work and peripherals draw nothing (processes are
+// halted), matching Android's suspend semantics. Suspending also kills
+// any lingering radio tails.
+func (m *Meter) SetSuspended(v bool) {
+	if m.suspended == v {
+		return
+	}
+	m.accrue()
+	m.suspended = v
+	if v {
+		for uid := range m.wifiTails {
+			delete(m.wifiTails, uid)
+		}
+	}
+}
+
+// SetScreen switches the display on or off.
+func (m *Meter) SetScreen(on bool) {
+	if m.screenOn == on {
+		return
+	}
+	m.accrue()
+	m.screenOn = on
+	if !on {
+		m.screenDim = false
+	}
+}
+
+// SetScreenDim dims or undims the lit display (the SCREEN_DIM_WAKE_LOCK
+// state: visible but at a fraction of the set brightness).
+func (m *Meter) SetScreenDim(dim bool) {
+	if m.screenDim == dim {
+		return
+	}
+	m.accrue()
+	m.screenDim = dim
+}
+
+// ScreenDimmed reports whether the display is in the dim state.
+func (m *Meter) ScreenDimmed() bool { return m.screenDim }
+
+// SetBrightness sets the display brightness level, clamped to [0, 255].
+func (m *Meter) SetBrightness(level int) {
+	if level < 0 {
+		level = 0
+	}
+	if level > MaxBrightness {
+		level = MaxBrightness
+	}
+	if m.brightness == level {
+		return
+	}
+	m.accrue()
+	m.brightness = level
+}
+
+// SetCPUUtil sets the total CPU utilization attributed to uid, clamped to
+// [0, 1].
+func (m *Meter) SetCPUUtil(uid app.UID, util float64) {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	if m.cpuUtil[uid] == util {
+		return
+	}
+	m.accrue()
+	if util == 0 {
+		delete(m.cpuUtil, uid)
+	} else {
+		m.cpuUtil[uid] = util
+	}
+}
+
+// Hold records that uid powered component c (camera, GPS, WiFi, audio).
+// Holds nest: each Hold needs a matching Release. Re-holding the WiFi
+// radio cancels any pending tail for the holder.
+func (m *Meter) Hold(c Component, uid app.UID) error {
+	if !peripheral(c) {
+		return fmt.Errorf("hw: cannot hold %v", c)
+	}
+	m.accrue()
+	if m.holds[c] == nil {
+		m.holds[c] = make(map[app.UID]int)
+	}
+	m.holds[c][uid]++
+	if c == WiFi {
+		delete(m.wifiTails, uid)
+	}
+	return nil
+}
+
+// Release drops one hold of component c by uid. Dropping the last WiFi
+// hold moves the radio into its low-power tail state for the holder,
+// billed until Profile.WiFiTail elapses.
+func (m *Meter) Release(c Component, uid app.UID) error {
+	if !peripheral(c) {
+		return fmt.Errorf("hw: cannot release %v", c)
+	}
+	if m.holds[c][uid] <= 0 {
+		return fmt.Errorf("hw: release of %v by uid %d without hold", c, uid)
+	}
+	m.accrue()
+	m.holds[c][uid]--
+	if m.holds[c][uid] == 0 {
+		delete(m.holds[c], uid)
+		if c == WiFi && m.profile.WiFiTail > 0 && m.profile.WiFiLow > 0 {
+			m.wifiTails[uid] = m.now().Add(m.profile.WiFiTail)
+		}
+	}
+	return nil
+}
+
+// InWiFiTail reports whether uid's radio is in its ramp-down state.
+func (m *Meter) InWiFiTail(uid app.UID) bool {
+	exp, ok := m.wifiTails[uid]
+	return ok && exp.After(m.now())
+}
+
+// Holding reports whether uid currently powers component c.
+func (m *Meter) Holding(c Component, uid app.UID) bool {
+	return m.holds[c][uid] > 0
+}
+
+func peripheral(c Component) bool {
+	switch c {
+	case Camera, GPS, WiFi, Audio:
+		return true
+	}
+	return false
+}
+
+func (m *Meter) peripheralPower(c Component) float64 {
+	switch c {
+	case Camera:
+		return m.profile.CameraOn
+	case GPS:
+		return m.profile.GPSOn
+	case WiFi:
+		return m.profile.WiFiHigh
+	case Audio:
+		return m.profile.AudioOn
+	default:
+		return 0
+	}
+}
+
+// accrue closes the span [lastT, now) and feeds it to every sink and the
+// battery. The span is split at WiFi tail expiries so tail energy
+// integrates exactly.
+func (m *Meter) accrue() {
+	t := m.now()
+	if t < m.lastT {
+		panic(fmt.Sprintf("hw: clock went backwards: %v < %v", t, m.lastT))
+	}
+	for m.lastT < t {
+		segEnd := t
+		for _, exp := range m.wifiTails {
+			if exp > m.lastT && exp < segEnd {
+				segEnd = exp
+			}
+		}
+		m.accrueSegment(segEnd)
+		for uid, exp := range m.wifiTails {
+			if exp <= m.lastT {
+				delete(m.wifiTails, uid)
+			}
+		}
+	}
+}
+
+// accrueSegment integrates [lastT, t) at constant power.
+func (m *Meter) accrueSegment(t sim.Time) {
+	if t == m.lastT {
+		return
+	}
+	secs := t.Sub(m.lastT).Seconds()
+
+	iv := Interval{From: m.lastT, To: t, PerUID: make(map[app.UID]Usage)}
+	usage := func(uid app.UID) Usage {
+		u := iv.PerUID[uid]
+		if u == nil {
+			u = make(Usage)
+			iv.PerUID[uid] = u
+		}
+		return u
+	}
+
+	// Platform base draw.
+	base := m.profile.CPUIdleAwake
+	if m.suspended {
+		base = m.profile.CPUSuspend
+	}
+	iv.SystemJ = mWtoJ(base, secs)
+
+	if !m.suspended {
+		// Per-app CPU, at the current DVFS operating point (linear when
+		// the profile has no frequency ladder).
+		cpuMW := m.cpuMarginalMW()
+		for uid, util := range m.cpuUtil {
+			usage(uid)[CPU] += mWtoJ(util*cpuMW, secs)
+		}
+		// Peripherals: full component power charged to each holder (if
+		// two apps hold the camera, hardware draws once but both keep it
+		// on; charge the holder set equally).
+		for c, holders := range m.holds {
+			if len(holders) == 0 {
+				continue
+			}
+			share := mWtoJ(m.peripheralPower(c), secs) / float64(len(holders))
+			for uid := range holders {
+				usage(uid)[c] += share
+			}
+		}
+		// Radio tails: apps whose WiFi hold ended recently keep drawing
+		// the low-power state until their tail expires.
+		for uid, exp := range m.wifiTails {
+			if exp > m.lastT {
+				usage(uid)[WiFi] += mWtoJ(m.profile.WiFiLow, secs)
+			}
+		}
+		// Screen.
+		if m.screenOn {
+			iv.ScreenJ = mWtoJ(m.screenPowerNow(), secs)
+		}
+	}
+
+	m.lastT = t
+
+	uids := make([]app.UID, 0, len(iv.PerUID))
+	for uid := range iv.PerUID {
+		uids = append(uids, uid)
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	var total float64
+	for _, uid := range uids {
+		total += iv.PerUID[uid].Total()
+	}
+	total += iv.ScreenJ + iv.SystemJ
+	if err := m.battery.Drain(total); err != nil {
+		panic(err) // unreachable: total is a sum of non-negative terms
+	}
+
+	for _, s := range m.sinks {
+		s.Accrue(iv)
+	}
+}
+
+// InstantPowerMW reports current total platform draw in milliwatts; used
+// by depletion sweeps to step analytically between events.
+func (m *Meter) InstantPowerMW() float64 {
+	base := m.profile.CPUIdleAwake
+	if m.suspended {
+		base = m.profile.CPUSuspend
+	}
+	p := base
+	if !m.suspended {
+		cpuMW := m.cpuMarginalMW()
+		for _, util := range m.cpuUtil {
+			p += util * cpuMW
+		}
+		for c, holders := range m.holds {
+			if len(holders) > 0 {
+				p += m.peripheralPower(c)
+			}
+		}
+		now := m.now()
+		for _, exp := range m.wifiTails {
+			if exp.After(now) {
+				p += m.profile.WiFiLow
+			}
+		}
+		if m.screenOn {
+			p += m.screenPowerNow()
+		}
+	}
+	return p
+}
+
+// screenPowerNow folds the dim state into the screen power model.
+func (m *Meter) screenPowerNow() float64 {
+	p := m.profile.ScreenPower(m.brightness)
+	if m.screenDim {
+		p = m.profile.ScreenPower(0) + (p-m.profile.ScreenPower(0))*dimFactor
+	}
+	return p
+}
+
+// dimFactor is the fraction of above-base brightness draw kept while the
+// display is dimmed.
+const dimFactor = 0.3
+
+// InstantScreenPowerMW reports the display's current draw in mW.
+func (m *Meter) InstantScreenPowerMW() float64 {
+	if m.suspended || !m.screenOn {
+		return 0
+	}
+	return m.screenPowerNow()
+}
+
+// InstantSystemPowerMW reports the platform base draw in mW.
+func (m *Meter) InstantSystemPowerMW() float64 {
+	if m.suspended {
+		return m.profile.CPUSuspend
+	}
+	return m.profile.CPUIdleAwake
+}
+
+// InstantAppPowerMW reports the power currently drawn by uid's own
+// components (CPU plus peripheral holds, excluding screen), in mW. This
+// is the per-app trace a power-signature detector samples.
+func (m *Meter) InstantAppPowerMW(uid app.UID) float64 {
+	if m.suspended {
+		return 0
+	}
+	p := m.cpuUtil[uid] * m.cpuMarginalMW()
+	for c, holders := range m.holds {
+		if n := holders[uid]; n > 0 {
+			p += m.peripheralPower(c) / float64(len(holders))
+		}
+	}
+	if exp, ok := m.wifiTails[uid]; ok && exp.After(m.now()) {
+		p += m.profile.WiFiLow
+	}
+	return p
+}
+
+// UIDs returns the set of uids with any live meter state, sorted; useful
+// for diagnostics.
+func (m *Meter) UIDs() []app.UID {
+	set := map[app.UID]bool{}
+	for uid := range m.cpuUtil {
+		set[uid] = true
+	}
+	for _, holders := range m.holds {
+		for uid := range holders {
+			set[uid] = true
+		}
+	}
+	out := make([]app.UID, 0, len(set))
+	for uid := range set {
+		out = append(out, uid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func mWtoJ(mw, secs float64) float64 { return mw / 1000 * secs }

@@ -1,0 +1,159 @@
+// Package intent models Android intents — the messages apps use to
+// request actions from components — and their resolution against the
+// installed packages.
+//
+// Explicit intents name a target component directly; implicit intents
+// declare an action and are matched against intent filters. When several
+// apps match an implicit intent, Android interposes the system resolver
+// activity ("resolverActivity") so the user can choose; E-Android must
+// see through that indirection and attribute the eventual start to the
+// original sender, so resolution results carry enough detail to do so.
+package intent
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/app"
+	"repro/internal/manifest"
+)
+
+// Common intent actions used by scenarios and tests.
+const (
+	ActionMain         = "android.intent.action.MAIN"
+	ActionView         = "android.intent.action.VIEW"
+	ActionSend         = "android.intent.action.SEND"
+	ActionVideoCapture = "android.media.action.VIDEO_CAPTURE"
+	ActionUserPresent  = "android.intent.action.USER_PRESENT"
+
+	CategoryLauncher = "android.intent.category.LAUNCHER"
+	CategoryDefault  = "android.intent.category.DEFAULT"
+)
+
+// Intent is a request to start a component.
+type Intent struct {
+	// Sender is the UID of the app dispatching the intent. The framework
+	// fills this in; callers cannot spoof it (Binder provides the calling
+	// UID in real Android).
+	Sender app.UID
+
+	// Component, when non-empty, makes the intent explicit:
+	// "package/ComponentName".
+	Component string
+
+	// Action and Categories drive implicit resolution when Component is
+	// empty.
+	Action     string
+	Categories []string
+
+	// Extras carries opaque payload (unused by resolution; present
+	// because attack #1 notes collateral attacks need no data flow).
+	Extras map[string]string
+}
+
+// Explicit reports whether the intent names its target directly.
+func (in Intent) Explicit() bool { return in.Component != "" }
+
+// String renders a compact diagnostic form.
+func (in Intent) String() string {
+	if in.Explicit() {
+		return fmt.Sprintf("intent{explicit %s from uid %d}", in.Component, in.Sender)
+	}
+	return fmt.Sprintf("intent{action %s from uid %d}", in.Action, in.Sender)
+}
+
+// Match is one resolution candidate.
+type Match struct {
+	App       *app.App
+	Component string // short component name within the app
+	Kind      manifest.ComponentKind
+}
+
+// FullName returns the canonical "package/Component" reference.
+func (m Match) FullName() string {
+	return manifest.FullComponentName(m.App.Package(), m.Component)
+}
+
+// Resolver resolves intents against a package manager.
+type Resolver struct {
+	pm *app.PackageManager
+}
+
+// NewResolver returns a resolver over the given package manager.
+func NewResolver(pm *app.PackageManager) *Resolver {
+	return &Resolver{pm: pm}
+}
+
+// errorf builds a resolution error.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("intent: "+format, args...)
+}
+
+// ResolveExplicit resolves an explicit intent to its single target. It
+// enforces the export rule: a caller from another app may only reach
+// exported components (the attack-vector study's 72 % figure is about
+// exactly this property).
+func (r *Resolver) ResolveExplicit(in Intent, want manifest.ComponentKind) (Match, error) {
+	if !in.Explicit() {
+		return Match{}, errorf("ResolveExplicit on implicit %v", in)
+	}
+	pkg, name, err := manifest.SplitComponentName(in.Component)
+	if err != nil {
+		return Match{}, err
+	}
+	target := r.pm.ByPackage(pkg)
+	if target == nil {
+		return Match{}, errorf("no such package %q", pkg)
+	}
+	comp := target.Manifest.Component(name)
+	if comp == nil {
+		return Match{}, errorf("package %s has no component %q", pkg, name)
+	}
+	if comp.Kind != want {
+		return Match{}, errorf("component %s is a %v, not a %v", in.Component, comp.Kind, want)
+	}
+	sender := r.pm.ByUID(in.Sender)
+	crossApp := sender == nil || sender.UID != target.UID
+	if crossApp && !comp.Exported {
+		return Match{}, errorf("component %s is not exported", in.Component)
+	}
+	return Match{App: target, Component: name, Kind: comp.Kind}, nil
+}
+
+// ResolveImplicit returns every component of the wanted kind whose filter
+// matches the intent, sorted by package then component name for
+// determinism. Non-exported components never match cross-app implicit
+// intents.
+func (r *Resolver) ResolveImplicit(in Intent, want manifest.ComponentKind) ([]Match, error) {
+	if in.Explicit() {
+		return nil, errorf("ResolveImplicit on explicit %v", in)
+	}
+	if in.Action == "" {
+		return nil, errorf("implicit intent with empty action")
+	}
+	var out []Match
+	for _, a := range r.pm.Apps() {
+		for _, c := range a.Manifest.Components {
+			if c.Kind != want {
+				continue
+			}
+			crossApp := a.UID != in.Sender
+			if crossApp && !c.Exported {
+				continue
+			}
+			for _, f := range c.Filters {
+				if f.Matches(in.Action, in.Categories) {
+					out = append(out, Match{App: a, Component: c.Name, Kind: c.Kind})
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App.Package() != out[j].App.Package() {
+			return out[i].App.Package() < out[j].App.Package()
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out, nil
+}

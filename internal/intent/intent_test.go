@@ -1,0 +1,180 @@
+package intent
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/manifest"
+)
+
+func fixture(t *testing.T) (*app.PackageManager, *Resolver, *app.App, *app.App) {
+	t.Helper()
+	pm := app.NewPackageManager()
+	camera := pm.MustInstall(manifest.NewBuilder("com.android.camera", "Camera").
+		Activity("VideoActivity", true, manifest.IntentFilter{
+			Actions:    []string{ActionVideoCapture},
+			Categories: []string{CategoryDefault},
+		}).
+		Activity("PrivateActivity", false).
+		Service("UploadService", true).
+		MustBuild())
+	message := pm.MustInstall(manifest.NewBuilder("com.android.message", "Message").
+		Activity("Main", true, manifest.IntentFilter{
+			Actions:    []string{ActionMain},
+			Categories: []string{CategoryLauncher},
+		}).
+		Service("InternalSvc", false).
+		MustBuild())
+	return pm, NewResolver(pm), camera, message
+}
+
+func TestResolveExplicitHappyPath(t *testing.T) {
+	_, r, camera, message := fixture(t)
+	in := Intent{
+		Sender:    message.UID,
+		Component: "com.android.camera/VideoActivity",
+	}
+	m, err := r.ResolveExplicit(in, manifest.KindActivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.App != camera || m.Component != "VideoActivity" {
+		t.Fatalf("match = %+v", m)
+	}
+	if m.FullName() != "com.android.camera/VideoActivity" {
+		t.Fatalf("FullName = %q", m.FullName())
+	}
+}
+
+func TestResolveExplicitEnforcesExport(t *testing.T) {
+	_, r, _, message := fixture(t)
+	in := Intent{Sender: message.UID, Component: "com.android.camera/PrivateActivity"}
+	if _, err := r.ResolveExplicit(in, manifest.KindActivity); err == nil ||
+		!strings.Contains(err.Error(), "not exported") {
+		t.Fatalf("err = %v, want not-exported", err)
+	}
+}
+
+func TestResolveExplicitSameAppBypassesExport(t *testing.T) {
+	_, r, camera, _ := fixture(t)
+	in := Intent{Sender: camera.UID, Component: "com.android.camera/PrivateActivity"}
+	if _, err := r.ResolveExplicit(in, manifest.KindActivity); err != nil {
+		t.Fatalf("same-app explicit start failed: %v", err)
+	}
+}
+
+func TestResolveExplicitKindMismatch(t *testing.T) {
+	_, r, _, message := fixture(t)
+	in := Intent{Sender: message.UID, Component: "com.android.camera/UploadService"}
+	if _, err := r.ResolveExplicit(in, manifest.KindActivity); err == nil {
+		t.Fatal("want kind-mismatch error")
+	}
+}
+
+func TestResolveExplicitErrors(t *testing.T) {
+	_, r, _, message := fixture(t)
+	cases := []Intent{
+		{Sender: message.UID, Component: "com.missing/X"},
+		{Sender: message.UID, Component: "com.android.camera/Nope"},
+		{Sender: message.UID, Component: "garbage"},
+		{Sender: message.UID, Action: ActionMain}, // implicit passed to explicit
+	}
+	for _, in := range cases {
+		if _, err := r.ResolveExplicit(in, manifest.KindActivity); err == nil {
+			t.Errorf("ResolveExplicit(%v) should fail", in)
+		}
+	}
+}
+
+func TestResolveImplicitMatching(t *testing.T) {
+	_, r, camera, message := fixture(t)
+	in := Intent{
+		Sender:     message.UID,
+		Action:     ActionVideoCapture,
+		Categories: []string{CategoryDefault},
+	}
+	matches, err := r.ResolveImplicit(in, manifest.KindActivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].App != camera {
+		t.Fatalf("matches = %+v", matches)
+	}
+}
+
+func TestResolveImplicitSkipsUnexportedCrossApp(t *testing.T) {
+	pm := app.NewPackageManager()
+	pm.MustInstall(manifest.NewBuilder("com.x", "X").
+		Activity("Hidden", false, manifest.IntentFilter{Actions: []string{"act.GO"}}).
+		MustBuild())
+	sender := pm.MustInstall(manifest.NewBuilder("com.y", "Y").Activity("M", true).MustBuild())
+	r := NewResolver(pm)
+	matches, err := r.ResolveImplicit(Intent{Sender: sender.UID, Action: "act.GO"}, manifest.KindActivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("unexported component matched cross-app: %+v", matches)
+	}
+}
+
+func TestResolveImplicitSameAppSeesUnexported(t *testing.T) {
+	pm := app.NewPackageManager()
+	x := pm.MustInstall(manifest.NewBuilder("com.x", "X").
+		Activity("Hidden", false, manifest.IntentFilter{Actions: []string{"act.GO"}}).
+		MustBuild())
+	r := NewResolver(pm)
+	matches, err := r.ResolveImplicit(Intent{Sender: x.UID, Action: "act.GO"}, manifest.KindActivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("same-app implicit should match unexported: %+v", matches)
+	}
+}
+
+func TestResolveImplicitDeterministicOrder(t *testing.T) {
+	pm := app.NewPackageManager()
+	for _, pkg := range []string{"com.c", "com.a", "com.b"} {
+		pm.MustInstall(manifest.NewBuilder(pkg, pkg).
+			Activity("Go", true, manifest.IntentFilter{Actions: []string{"act.GO"}}).
+			MustBuild())
+	}
+	r := NewResolver(pm)
+	matches, err := r.ResolveImplicit(Intent{Sender: app.UIDNone, Action: "act.GO"}, manifest.KindActivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []string
+	for _, m := range matches {
+		pkgs = append(pkgs, m.App.Package())
+	}
+	want := []string{"com.a", "com.b", "com.c"}
+	for i := range want {
+		if pkgs[i] != want[i] {
+			t.Fatalf("order = %v, want %v", pkgs, want)
+		}
+	}
+}
+
+func TestResolveImplicitErrors(t *testing.T) {
+	_, r, _, message := fixture(t)
+	if _, err := r.ResolveImplicit(Intent{Sender: message.UID, Component: "a/b"}, manifest.KindActivity); err == nil {
+		t.Fatal("explicit intent passed to ResolveImplicit should fail")
+	}
+	if _, err := r.ResolveImplicit(Intent{Sender: message.UID}, manifest.KindActivity); err == nil {
+		t.Fatal("empty action should fail")
+	}
+}
+
+func TestIntentString(t *testing.T) {
+	e := Intent{Sender: 1, Component: "a/B"}
+	if !strings.Contains(e.String(), "explicit a/B") {
+		t.Fatalf("String() = %q", e.String())
+	}
+	i := Intent{Sender: 1, Action: "act.GO"}
+	if !strings.Contains(i.String(), "action act.GO") {
+		t.Fatalf("String() = %q", i.String())
+	}
+}

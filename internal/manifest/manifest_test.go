@@ -1,0 +1,252 @@
+package manifest
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Manifest {
+	return NewBuilder("com.example.message", "Message").
+		Category("Communication").
+		Permission(PermWakeLock).
+		Activity("MainActivity", true, IntentFilter{
+			Actions:    []string{"android.intent.action.MAIN"},
+			Categories: []string{"android.intent.category.LAUNCHER"},
+		}).
+		Activity("ComposeActivity", false).
+		Service("SyncService", true).
+		Receiver("BootReceiver", true, IntentFilter{
+			Actions: []string{"android.intent.action.BOOT_COMPLETED"},
+		}).
+		Provider("MessageProvider", false).
+		MustBuild()
+}
+
+func TestBuilderBuildsValidManifest(t *testing.T) {
+	m := sample()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Components) != 5 {
+		t.Fatalf("components = %d, want 5", len(m.Components))
+	}
+}
+
+func TestValidateRejectsEmptyPackage(t *testing.T) {
+	m := &Manifest{}
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for empty package")
+	}
+}
+
+func TestValidateRejectsDuplicateComponent(t *testing.T) {
+	_, err := NewBuilder("a.b", "x").
+		Activity("A", false).
+		Service("A", false).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v, want duplicate error", err)
+	}
+}
+
+func TestValidateRejectsEmptyComponentName(t *testing.T) {
+	m := &Manifest{Package: "a.b", Components: []Component{{Kind: KindActivity}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for empty component name")
+	}
+}
+
+func TestValidateRejectsBadKind(t *testing.T) {
+	m := &Manifest{Package: "a.b", Components: []Component{{Name: "X"}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for invalid kind")
+	}
+}
+
+func TestComponentLookup(t *testing.T) {
+	m := sample()
+	if c := m.Component("SyncService"); c == nil || c.Kind != KindService {
+		t.Fatalf("Component(SyncService) = %+v", c)
+	}
+	if m.Component("Nope") != nil {
+		t.Fatal("lookup of missing component should be nil")
+	}
+}
+
+func TestHasPermission(t *testing.T) {
+	m := sample()
+	if !m.HasPermission(PermWakeLock) {
+		t.Fatal("expected WAKE_LOCK")
+	}
+	if m.HasPermission(PermWriteSettings) {
+		t.Fatal("unexpected WRITE_SETTINGS")
+	}
+}
+
+func TestExportedComponents(t *testing.T) {
+	m := sample()
+	if !m.HasExportedComponent() {
+		t.Fatal("expected exported components")
+	}
+	got := m.ExportedComponents()
+	want := []string{"BootReceiver", "MainActivity", "SyncService"}
+	if len(got) != len(want) {
+		t.Fatalf("exported = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exported = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIntentFilterMatching(t *testing.T) {
+	f := IntentFilter{
+		Actions:    []string{"a.SEND", "a.VIEW"},
+		Categories: []string{"c.DEFAULT", "c.BROWSABLE"},
+	}
+	tests := []struct {
+		action string
+		cats   []string
+		want   bool
+	}{
+		{"a.SEND", nil, true},
+		{"a.SEND", []string{"c.DEFAULT"}, true},
+		{"a.VIEW", []string{"c.DEFAULT", "c.BROWSABLE"}, true},
+		{"a.SEND", []string{"c.HOME"}, false},
+		{"a.EDIT", nil, false},
+	}
+	for _, tt := range tests {
+		if got := f.Matches(tt.action, tt.cats); got != tt.want {
+			t.Errorf("Matches(%q, %v) = %v, want %v", tt.action, tt.cats, got, tt.want)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	m := sample()
+	data, err := m.MarshalXMLDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `package="com.example.message"`) {
+		t.Fatalf("doc missing package attr:\n%s", data)
+	}
+	back, err := ParseXMLDoc(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Package != m.Package || back.Label != m.Label || back.Category != m.Category {
+		t.Fatalf("round trip header mismatch: %+v", back)
+	}
+	if len(back.Permissions) != 1 || back.Permissions[0] != PermWakeLock {
+		t.Fatalf("permissions = %v", back.Permissions)
+	}
+	if len(back.Components) != len(m.Components) {
+		t.Fatalf("components = %d, want %d", len(back.Components), len(m.Components))
+	}
+	c := back.Component("MainActivity")
+	if c == nil || !c.Exported || len(c.Filters) != 1 {
+		t.Fatalf("MainActivity = %+v", c)
+	}
+	if !c.Filters[0].Matches("android.intent.action.MAIN", []string{"android.intent.category.LAUNCHER"}) {
+		t.Fatal("round-tripped filter lost matching data")
+	}
+}
+
+func TestParseXMLDocRejectsGarbage(t *testing.T) {
+	if _, err := ParseXMLDoc([]byte("not xml at all <<<")); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestParseXMLDocRejectsInvalidManifest(t *testing.T) {
+	doc := []byte(`<manifest><application/></manifest>`)
+	if _, err := ParseXMLDoc(doc); err == nil {
+		t.Fatal("want validation error for empty package")
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	m := &Manifest{}
+	if _, err := m.MarshalXMLDoc(); err == nil {
+		t.Fatal("want error marshaling invalid manifest")
+	}
+}
+
+func TestComponentKindString(t *testing.T) {
+	if KindActivity.String() != "activity" || KindProvider.String() != "provider" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(ComponentKind(99).String(), "99") {
+		t.Fatal("unknown kind should embed value")
+	}
+}
+
+func TestFullComponentName(t *testing.T) {
+	full := FullComponentName("com.a", "Main")
+	if full != "com.a/Main" {
+		t.Fatalf("full = %q", full)
+	}
+	pkg, name, err := SplitComponentName(full)
+	if err != nil || pkg != "com.a" || name != "Main" {
+		t.Fatalf("split = %q %q %v", pkg, name, err)
+	}
+	for _, bad := range []string{"", "noslash", "/x", "x/"} {
+		if _, _, err := SplitComponentName(bad); err == nil {
+			t.Errorf("SplitComponentName(%q) should fail", bad)
+		}
+	}
+}
+
+// Property: any manifest assembled from sanitized random parts survives an
+// XML round trip with package, permissions and component count intact.
+func TestPropertyXMLRoundTrip(t *testing.T) {
+	sanitize := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+				b.WriteRune(r)
+			}
+		}
+		if b.Len() == 0 {
+			return "x"
+		}
+		return b.String()
+	}
+	prop := func(pkg string, perms []string, nComp uint8) bool {
+		m := &Manifest{Package: "com." + sanitize(pkg)}
+		seen := map[string]bool{}
+		for _, p := range perms {
+			m.Permissions = append(m.Permissions, "perm."+sanitize(p))
+		}
+		n := int(nComp % 8)
+		for i := 0; i < n; i++ {
+			name := sanitize(pkg) + string(rune('A'+i))
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			m.Components = append(m.Components, Component{
+				Kind:     ComponentKind(i%4 + 1),
+				Name:     name,
+				Exported: i%2 == 0,
+			})
+		}
+		data, err := m.MarshalXMLDoc()
+		if err != nil {
+			return false
+		}
+		back, err := ParseXMLDoc(data)
+		if err != nil {
+			return false
+		}
+		return back.Package == m.Package &&
+			len(back.Permissions) == len(m.Permissions) &&
+			len(back.Components) == len(m.Components)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

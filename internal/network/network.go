@@ -1,0 +1,181 @@
+// Package network models traffic-driven radio energy: a transfer holds
+// the WiFi radio in its high-power state for a duration derived from the
+// payload size and link bandwidth, and the hardware meter's tail state
+// applies once the transfer completes. Closely spaced requests therefore
+// keep the radio warm — the physics behind Martin et al.'s
+// repeated-network-request battery attack, which this package's
+// RepeatedRequests helper reproduces as a classic (non-collateral,
+// baseline-visible) bomber.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// DefaultBandwidthBps is the modeled link rate (20 Mbit/s WiFi).
+const DefaultBandwidthBps = 20_000_000
+
+// minTransfer bounds how short a transfer's radio window can be; even a
+// tiny request pays connection setup.
+const minTransfer = 50 * time.Millisecond
+
+// Transfer is one in-flight or completed transmission.
+type Transfer struct {
+	From  app.UID
+	To    app.UID // app.UIDNone for a remote host outside the device
+	Bytes int64
+	Until sim.Time
+
+	done bool
+	// rxKey is the aggregator key for the receiver-side demand.
+	rxKey *int
+}
+
+// Done reports whether the transfer completed.
+func (t *Transfer) Done() bool { return t.done }
+
+// Manager models the device's network interface.
+type Manager struct {
+	engine *sim.Engine
+	pm     *app.PackageManager
+	agg    *hw.Aggregator
+
+	bandwidthBps float64
+	transfers    map[*Transfer]struct{}
+}
+
+// NewManager builds the network manager.
+func NewManager(engine *sim.Engine, pm *app.PackageManager, agg *hw.Aggregator) (*Manager, error) {
+	if engine == nil || pm == nil || agg == nil {
+		return nil, fmt.Errorf("network: nil dependency")
+	}
+	return &Manager{
+		engine:       engine,
+		pm:           pm,
+		agg:          agg,
+		bandwidthBps: DefaultBandwidthBps,
+		transfers:    make(map[*Transfer]struct{}),
+	}, nil
+}
+
+// SetBandwidth overrides the modeled link rate in bits per second.
+func (m *Manager) SetBandwidth(bps float64) error {
+	if bps <= 0 {
+		return fmt.Errorf("network: non-positive bandwidth %v", bps)
+	}
+	m.bandwidthBps = bps
+	return nil
+}
+
+// Duration reports how long a payload keeps the radio in its high state.
+func (m *Manager) Duration(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return minTransfer
+	}
+	d := time.Duration(float64(bytes*8) / m.bandwidthBps * float64(time.Second))
+	if d < minTransfer {
+		d = minTransfer
+	}
+	return d
+}
+
+// Send transmits bytes from an app to a remote host: the sender's radio
+// goes high for the transfer window, then rides the tail.
+func (m *Manager) Send(from app.UID, bytes int64) (*Transfer, error) {
+	return m.SendTo(from, app.UIDNone, bytes)
+}
+
+// SendTo transmits bytes between two apps on (or off) the device. Both
+// endpoints' radios go high for the window: this is how a network bomber
+// burns a victim's battery remotely.
+func (m *Manager) SendTo(from, to app.UID, bytes int64) (*Transfer, error) {
+	sender := m.pm.ByUID(from)
+	if sender == nil {
+		return nil, fmt.Errorf("network: unknown sender uid %d", from)
+	}
+	if !sender.Alive() {
+		return nil, fmt.Errorf("network: sender %s is dead", sender.Package())
+	}
+	if bytes < 0 {
+		return nil, fmt.Errorf("network: negative payload %d", bytes)
+	}
+	var receiver *app.App
+	if to != app.UIDNone {
+		receiver = m.pm.ByUID(to)
+		if receiver == nil {
+			return nil, fmt.Errorf("network: unknown receiver uid %d", to)
+		}
+		if !receiver.Alive() {
+			receiver.Revive()
+		}
+	}
+	window := m.Duration(bytes)
+	t := &Transfer{
+		From: from, To: to, Bytes: bytes,
+		Until: m.engine.Now().Add(window),
+		rxKey: new(int),
+	}
+	m.transfers[t] = struct{}{}
+
+	// Radio high + a small protocol-processing CPU share per endpoint.
+	if err := m.agg.Set(t, from, hw.Demand{WiFi: true, CPUUtil: 0.05}); err != nil {
+		return nil, err
+	}
+	if receiver != nil {
+		if err := m.agg.Set(t.rxKey, to, hw.Demand{WiFi: true, CPUUtil: 0.05}); err != nil {
+			_ = m.agg.Clear(t)
+			return nil, err
+		}
+	}
+	m.engine.After(window, "network.transfer-done", func() {
+		t.done = true
+		delete(m.transfers, t)
+		_ = m.agg.Clear(t)
+		if receiver != nil {
+			_ = m.agg.Clear(t.rxKey)
+		}
+	})
+	return t, nil
+}
+
+// Active returns in-flight transfers sorted by deadline then sender.
+func (m *Manager) Active() []*Transfer {
+	out := make([]*Transfer, 0, len(m.transfers))
+	for t := range m.transfers {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Until != out[j].Until {
+			return out[i].Until < out[j].Until
+		}
+		return out[i].From < out[j].From
+	})
+	return out
+}
+
+// RepeatedRequests schedules the classic bomber: count transfers of the
+// given size from attacker to victim, spaced every interval. Spacing the
+// requests inside the radio's tail keeps both radios permanently warm.
+func (m *Manager) RepeatedRequests(from, to app.UID, bytes int64, every time.Duration, count int) error {
+	if count <= 0 {
+		return fmt.Errorf("network: non-positive count %d", count)
+	}
+	if every <= 0 {
+		return fmt.Errorf("network: non-positive interval %v", every)
+	}
+	if _, err := m.SendTo(from, to, bytes); err != nil {
+		return err
+	}
+	for i := 1; i < count; i++ {
+		m.engine.After(time.Duration(i)*every, "network.repeat-request", func() {
+			_, _ = m.SendTo(from, to, bytes)
+		})
+	}
+	return nil
+}

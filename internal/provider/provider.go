@@ -1,0 +1,130 @@
+// Package provider implements content-provider IPC: queries against
+// another app's declared provider wake the providing process and bill it
+// a query-execution window. Providers are the fourth Android component
+// type and the remaining IPC channel after intents, service binds and
+// broadcasts; the paper's related work (content provider pollution,
+// Zhou & Jiang) shows they are reachable cross-app, so E-Android's
+// monitor treats a cross-app query as a collateral event spanning the
+// execution window — an extension vector documented in DESIGN.md.
+package provider
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/hw"
+	"repro/internal/intent"
+	"repro/internal/manifest"
+	"repro/internal/sim"
+)
+
+// DefaultQueryWindow bounds one query's execution on the provider side.
+const DefaultQueryWindow = 2 * time.Second
+
+// Query is one in-flight (or completed) provider query.
+type Query struct {
+	Caller    app.UID
+	Provider  *app.App
+	Component string
+	Until     sim.Time
+}
+
+// Hooks receive provider events; E-Android's monitor implements this.
+type Hooks interface {
+	ProviderQueried(t sim.Time, q *Query)
+	ProviderQueryDone(t sim.Time, q *Query)
+}
+
+// Manager dispatches provider queries.
+type Manager struct {
+	engine   *sim.Engine
+	pm       *app.PackageManager
+	resolver *intent.Resolver
+	agg      *hw.Aggregator
+	hooks    []Hooks
+
+	windows map[providerKey]time.Duration
+}
+
+type providerKey struct {
+	pkg, component string
+}
+
+// NewManager builds the provider manager.
+func NewManager(engine *sim.Engine, pm *app.PackageManager, res *intent.Resolver, agg *hw.Aggregator) (*Manager, error) {
+	if engine == nil || pm == nil || res == nil || agg == nil {
+		return nil, fmt.Errorf("provider: nil dependency")
+	}
+	return &Manager{
+		engine:   engine,
+		pm:       pm,
+		resolver: res,
+		agg:      agg,
+		windows:  make(map[providerKey]time.Duration),
+	}, nil
+}
+
+// AddHooks registers an event consumer.
+func (m *Manager) AddHooks(h Hooks) { m.hooks = append(m.hooks, h) }
+
+// SetQueryWindow overrides the execution window for one provider
+// (e.g. a heavy full-table scan).
+func (m *Manager) SetQueryWindow(pkg, component string, window time.Duration) error {
+	a := m.pm.ByPackage(pkg)
+	if a == nil {
+		return fmt.Errorf("provider: no such package %q", pkg)
+	}
+	c := a.Manifest.Component(component)
+	if c == nil || c.Kind != manifest.KindProvider {
+		return fmt.Errorf("provider: %s has no provider %q", pkg, component)
+	}
+	if window <= 0 {
+		return fmt.Errorf("provider: non-positive query window %v", window)
+	}
+	m.windows[providerKey{pkg, component}] = window
+	return nil
+}
+
+// Query runs one query from caller against "pkg/Component". Export rules
+// apply cross-app; the providing process revives if dead; its declared
+// workload (with a minimal floor) is billed for the query window.
+func (m *Manager) Query(caller app.UID, full string) (*Query, error) {
+	match, err := m.resolver.ResolveExplicit(intent.Intent{
+		Sender:    caller,
+		Component: full,
+	}, manifest.KindProvider)
+	if err != nil {
+		return nil, err
+	}
+	target := match.App
+	if !target.Alive() {
+		target.Revive()
+	}
+	window := DefaultQueryWindow
+	if w, ok := m.windows[providerKey{target.Package(), match.Component}]; ok {
+		window = w
+	}
+	q := &Query{
+		Caller:    caller,
+		Provider:  target,
+		Component: match.Component,
+		Until:     m.engine.Now().Add(window),
+	}
+	w := target.Workload(match.Component)
+	util := w.CPUActive
+	if util < 0.05 {
+		util = 0.05 // a query is never free: wakeup + binder + I/O
+	}
+	_ = m.agg.Set(q, target.UID, hw.Demand{CPUUtil: util})
+	for _, h := range m.hooks {
+		h.ProviderQueried(m.engine.Now(), q)
+	}
+	m.engine.After(window, "provider.query-done", func() {
+		_ = m.agg.Clear(q)
+		for _, h := range m.hooks {
+			h.ProviderQueryDone(m.engine.Now(), q)
+		}
+	})
+	return q, nil
+}

@@ -1,0 +1,149 @@
+package provider_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/manifest"
+	"repro/internal/provider"
+)
+
+func fixture(t *testing.T) (*device.Device, *app.App, *app.App) {
+	t.Helper()
+	dev, err := device.New(device.Config{EAndroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := dev.Packages.MustInstall(manifest.NewBuilder("com.data", "Data").
+		Activity("Main", true).
+		Provider("ContactsProvider", true).
+		Provider("Private", false).
+		MustBuild())
+	if err := owner.SetWorkload("ContactsProvider", app.Workload{CPUActive: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	caller := dev.Packages.MustInstall(manifest.NewBuilder("com.caller", "Caller").
+		Activity("Main", true).
+		MustBuild())
+	return dev, owner, caller
+}
+
+func TestQueryBillsProvider(t *testing.T) {
+	dev, owner, caller := fixture(t)
+	q, err := dev.Providers.Query(caller.UID, "com.data/ContactsProvider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Provider != owner {
+		t.Fatalf("query = %+v", q)
+	}
+	if got := dev.Meter.CPUUtil(owner.UID); got != 0.3 {
+		t.Fatalf("provider util = %v, want 0.3", got)
+	}
+	if err := dev.Run(provider.DefaultQueryWindow + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Meter.CPUUtil(owner.UID); got != 0 {
+		t.Fatalf("provider util after window = %v", got)
+	}
+}
+
+func TestQueryFloor(t *testing.T) {
+	dev, _, caller := fixture(t)
+	idle := dev.Packages.MustInstall(manifest.NewBuilder("com.idle", "Idle").
+		Provider("P", true).MustBuild())
+	if _, err := dev.Providers.Query(caller.UID, "com.idle/P"); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Meter.CPUUtil(idle.UID); got != 0.05 {
+		t.Fatalf("floor util = %v, want 0.05", got)
+	}
+}
+
+func TestExportRule(t *testing.T) {
+	dev, owner, caller := fixture(t)
+	if _, err := dev.Providers.Query(caller.UID, "com.data/Private"); err == nil {
+		t.Fatal("cross-app query of unexported provider accepted")
+	}
+	if _, err := dev.Providers.Query(owner.UID, "com.data/Private"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryRevivesProcess(t *testing.T) {
+	dev, owner, caller := fixture(t)
+	owner.Kill()
+	if _, err := dev.Providers.Query(caller.UID, "com.data/ContactsProvider"); err != nil {
+		t.Fatal(err)
+	}
+	if !owner.Alive() {
+		t.Fatal("query should revive the provider process")
+	}
+}
+
+func TestCrossAppQueryIsCollateral(t *testing.T) {
+	dev, owner, caller := fixture(t)
+	if _, err := dev.Providers.Query(caller.UID, "com.data/ContactsProvider"); err != nil {
+		t.Fatal(err)
+	}
+	atks := dev.EAndroid.ActiveAttacks()
+	if len(atks) != 1 || atks[0].Vector != core.VectorProvider ||
+		atks[0].Driving != caller.UID || atks[0].Driven != owner.UID {
+		t.Fatalf("attacks = %v", atks)
+	}
+	if err := dev.Run(provider.DefaultQueryWindow + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.EAndroid.ActiveAttacks()) != 0 {
+		t.Fatal("query attack should close with the window")
+	}
+	dev.Flush()
+	if dev.EAndroid.CollateralJ(caller.UID) <= 0 {
+		t.Fatal("query energy should land on the caller's map")
+	}
+}
+
+func TestSameAppQueryNotCollateral(t *testing.T) {
+	dev, owner, _ := fixture(t)
+	if _, err := dev.Providers.Query(owner.UID, "com.data/ContactsProvider"); err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.EAndroid.ActiveAttacks()) != 0 {
+		t.Fatal("same-app query registered as attack")
+	}
+}
+
+func TestSetQueryWindow(t *testing.T) {
+	dev, owner, caller := fixture(t)
+	if err := dev.Providers.SetQueryWindow("com.data", "ContactsProvider", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Providers.Query(caller.UID, "com.data/ContactsProvider"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Meter.CPUUtil(owner.UID) == 0 {
+		t.Fatal("extended window should still bill at t=5s")
+	}
+	// Validation.
+	if err := dev.Providers.SetQueryWindow("com.missing", "P", time.Second); err == nil {
+		t.Fatal("missing package accepted")
+	}
+	if err := dev.Providers.SetQueryWindow("com.data", "Main", time.Second); err == nil {
+		t.Fatal("non-provider component accepted")
+	}
+	if err := dev.Providers.SetQueryWindow("com.data", "ContactsProvider", 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestNewManagerNilDeps(t *testing.T) {
+	if _, err := provider.NewManager(nil, nil, nil, nil); err == nil {
+		t.Fatal("nil deps accepted")
+	}
+}

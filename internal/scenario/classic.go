@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/intent"
+	"repro/internal/manifest"
+	"repro/internal/power"
+)
+
+// PkgClassic is the classic (Martin et al.) energy bomber — malware that
+// burns energy in its *own* process, the kind the paper notes is already
+// "detectable by battery interface" and by power signatures.
+const PkgClassic = "com.classic.bomber"
+
+// InstallClassicBomber adds the classic bomber app to the world:
+// a CPU bomb service (the infinite-loop / cache-miss attack), a network
+// bomb service (repeated requests pinning the radio) and an animated-GIF
+// activity (display + CPU). Returns the installed app.
+func (w *World) InstallClassicBomber() (*app.App, error) {
+	if a := w.Dev.Packages.ByPackage(PkgClassic); a != nil {
+		return a, nil
+	}
+	a, err := w.Dev.Packages.Install(manifest.NewBuilder(PkgClassic, "ClassicBomber").
+		Category("Tools").
+		Permission(manifest.PermWakeLock).
+		Activity("Main", true).
+		Activity("AnimatedGIF", true).
+		Service("CPUBomb", false).
+		Service("NetBomb", false).
+		MustBuild())
+	if err != nil {
+		return nil, err
+	}
+	if err := a.SetWorkload("Main", app.Workload{CPUActive: 0.02, CPUBackground: 0.01}); err != nil {
+		return nil, err
+	}
+	// Repeatedly writing and reading arrays of varying length — all CPU,
+	// all in the bomber's own name.
+	if err := a.SetWorkload("CPUBomb", app.Workload{CPUActive: 0.9}); err != nil {
+		return nil, err
+	}
+	// Repeated network requests to a victim server pin the radio high.
+	if err := a.SetWorkload("NetBomb", app.Workload{CPUActive: 0.2, WiFi: true}); err != nil {
+		return nil, err
+	}
+	// Replacing a still image with an animated GIF keeps the renderer
+	// busy while the page is in the foreground.
+	if err := a.SetWorkload("AnimatedGIF", app.Workload{CPUActive: 0.6, CPUBackground: 0.02}); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ClassicCPUBomb runs the classic attack #3 of Martin et al.: a partial
+// wakelock plus a tight compute loop in the bomber's own service.
+func (w *World) ClassicCPUBomb(dur time.Duration) error {
+	bomber, err := w.InstallClassicBomber()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Dev.Power.Acquire(bomber.UID, power.Partial, "bomb"); err != nil {
+		return err
+	}
+	if _, err := w.Dev.Services.Start(intent.Intent{
+		Sender:    bomber.UID,
+		Component: PkgClassic + "/CPUBomb",
+	}); err != nil {
+		return err
+	}
+	return w.run(dur)
+}
+
+// ClassicNetworkBomb runs the repeated-network-request attack.
+func (w *World) ClassicNetworkBomb(dur time.Duration) error {
+	bomber, err := w.InstallClassicBomber()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Dev.Power.Acquire(bomber.UID, power.Partial, "netbomb"); err != nil {
+		return err
+	}
+	if _, err := w.Dev.Services.Start(intent.Intent{
+		Sender:    bomber.UID,
+		Component: PkgClassic + "/NetBomb",
+	}); err != nil {
+		return err
+	}
+	return w.run(dur)
+}
+
+// ClassicAnimatedGIF runs the animated-GIF attack: the bomber's page
+// replaces a still image with an animation and stays in the foreground.
+func (w *World) ClassicAnimatedGIF(dur time.Duration) error {
+	if _, err := w.InstallClassicBomber(); err != nil {
+		return err
+	}
+	if _, err := w.Dev.Activities.UserStartApp(PkgClassic); err != nil {
+		return err
+	}
+	bomber := w.Dev.Packages.ByPackage(PkgClassic)
+	if _, err := w.Dev.Activities.StartActivity(intent.Intent{
+		Sender:    bomber.UID,
+		Component: PkgClassic + "/AnimatedGIF",
+	}); err != nil {
+		return err
+	}
+	if _, err := w.Dev.Power.Acquire(bomber.UID, power.ScreenBright, "gif"); err != nil {
+		return err
+	}
+	return w.run(dur)
+}
+
+// Classic returns the bomber app, or an error if not installed.
+func (w *World) Classic() (*app.App, error) {
+	a := w.Dev.Packages.ByPackage(PkgClassic)
+	if a == nil {
+		return nil, fmt.Errorf("scenario: classic bomber not installed")
+	}
+	return a, nil
+}

@@ -1,0 +1,347 @@
+// Package service reimplements Android's service lifecycle: started
+// services that run until stopService()/stopSelf(), bound services kept
+// alive by connections, and the combination rule the paper's attack #3
+// exploits — a service with any live binding survives stopService(), so
+// a malicious bind with no unbind pins a victim's service forever.
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/app"
+	"repro/internal/hw"
+	"repro/internal/intent"
+	"repro/internal/manifest"
+	"repro/internal/sim"
+)
+
+// StopKind distinguishes how a started service was stopped.
+type StopKind int
+
+// Stop kinds.
+const (
+	// StopService is an external stopService() call.
+	StopService StopKind = iota + 1
+	// StopSelf is the service stopping itself.
+	StopSelf
+	// StopOwnerDeath is the owning process dying.
+	StopOwnerDeath
+)
+
+func (k StopKind) String() string {
+	switch k {
+	case StopService:
+		return "stopService"
+	case StopSelf:
+		return "stopSelf"
+	case StopOwnerDeath:
+		return "owner-death"
+	}
+	return fmt.Sprintf("StopKind(%d)", int(k))
+}
+
+// UnbindCause distinguishes why a connection closed.
+type UnbindCause int
+
+// Unbind causes.
+const (
+	// UnbindExplicit is a normal unbindService() call.
+	UnbindExplicit UnbindCause = iota + 1
+	// UnbindClientDeath is the client process dying.
+	UnbindClientDeath
+)
+
+func (c UnbindCause) String() string {
+	switch c {
+	case UnbindExplicit:
+		return "explicit"
+	case UnbindClientDeath:
+		return "client-death"
+	}
+	return fmt.Sprintf("UnbindCause(%d)", int(c))
+}
+
+// Service is one service component instance.
+type Service struct {
+	app       *app.App
+	component string
+
+	started  bool
+	bindings map[*Connection]struct{}
+	mgr      *Manager
+}
+
+// App returns the owning application.
+func (s *Service) App() *app.App { return s.app }
+
+// Component returns the short component name.
+func (s *Service) Component() string { return s.component }
+
+// FullName returns "package/Component".
+func (s *Service) FullName() string {
+	return manifest.FullComponentName(s.app.Package(), s.component)
+}
+
+// Started reports whether the service was started (vs only bound).
+func (s *Service) Started() bool { return s.started }
+
+// Bindings reports the number of live connections.
+func (s *Service) Bindings() int { return len(s.bindings) }
+
+// Running reports whether the service is alive: started, or kept alive by
+// at least one binding.
+func (s *Service) Running() bool { return s.started || len(s.bindings) > 0 }
+
+// Connection is one live bindService() link from a client to a service.
+type Connection struct {
+	Client app.UID
+	svc    *Service
+	bound  bool
+}
+
+// Service returns the connected service.
+func (c *Connection) Service() *Service { return c.svc }
+
+// Bound reports whether the connection is still live.
+func (c *Connection) Bound() bool { return c.bound }
+
+// Hooks receive service manager events.
+type Hooks interface {
+	ServiceStarted(t sim.Time, caller app.UID, svc *Service)
+	ServiceStopped(t sim.Time, caller app.UID, svc *Service, kind StopKind)
+	ServiceBound(t sim.Time, conn *Connection)
+	ServiceUnbound(t sim.Time, conn *Connection, cause UnbindCause)
+	// ServiceRunning fires when a service transitions between running
+	// and not running (the state that draws power).
+	ServiceRunning(t sim.Time, svc *Service, running bool)
+}
+
+// Manager is the simulated service controller inside "am".
+type Manager struct {
+	engine   *sim.Engine
+	pm       *app.PackageManager
+	resolver *intent.Resolver
+	agg      *hw.Aggregator
+	hooks    []Hooks
+
+	services     map[string]*Service // full name -> instance
+	deathWatched map[app.UID]bool
+}
+
+// NewManager builds the service manager.
+func NewManager(engine *sim.Engine, pm *app.PackageManager, res *intent.Resolver, agg *hw.Aggregator) (*Manager, error) {
+	if engine == nil || pm == nil || res == nil || agg == nil {
+		return nil, fmt.Errorf("service: nil dependency")
+	}
+	return &Manager{
+		engine:       engine,
+		pm:           pm,
+		resolver:     res,
+		agg:          agg,
+		services:     make(map[string]*Service),
+		deathWatched: make(map[app.UID]bool),
+	}, nil
+}
+
+// AddHooks registers an event consumer.
+func (m *Manager) AddHooks(h Hooks) { m.hooks = append(m.hooks, h) }
+
+func (m *Manager) instance(match intent.Match) *Service {
+	full := match.FullName()
+	if s, ok := m.services[full]; ok {
+		return s
+	}
+	s := &Service{
+		app:       match.App,
+		component: match.Component,
+		bindings:  make(map[*Connection]struct{}),
+		mgr:       m,
+	}
+	m.services[full] = s
+	return s
+}
+
+// Start handles startService(): the target service runs until stopped.
+// Export rules apply for cross-app intents; the owning process revives if
+// dead.
+func (m *Manager) Start(in intent.Intent) (*Service, error) {
+	match, err := m.resolver.ResolveExplicit(in, manifest.KindService)
+	if err != nil {
+		return nil, err
+	}
+	svc := m.instance(match)
+	if !svc.app.Alive() {
+		svc.app.Revive()
+	}
+	m.watchOwnerDeath(svc.app)
+	wasRunning := svc.Running()
+	svc.started = true
+	for _, h := range m.hooks {
+		h.ServiceStarted(m.engine.Now(), in.Sender, svc)
+	}
+	m.updateRunning(svc, wasRunning)
+	return svc, nil
+}
+
+// Stop handles stopService(). Per Android semantics the service keeps
+// running if any binding is live — the heart of attack #3.
+func (m *Manager) Stop(caller app.UID, full string) error {
+	svc, ok := m.services[full]
+	if !ok || !svc.started {
+		return fmt.Errorf("service: %s is not started", full)
+	}
+	m.stopStarted(svc, caller, StopService)
+	return nil
+}
+
+// StopSelfService handles stopSelf() from inside the service.
+func (m *Manager) StopSelfService(svc *Service) error {
+	if !svc.started {
+		return fmt.Errorf("service: %s is not started", svc.FullName())
+	}
+	m.stopStarted(svc, svc.app.UID, StopSelf)
+	return nil
+}
+
+func (m *Manager) stopStarted(svc *Service, caller app.UID, kind StopKind) {
+	wasRunning := svc.Running()
+	svc.started = false
+	for _, h := range m.hooks {
+		h.ServiceStopped(m.engine.Now(), caller, svc, kind)
+	}
+	m.updateRunning(svc, wasRunning)
+}
+
+// Bind handles bindService(): a new connection keeps the service alive
+// until unbound. The client's process death implicitly unbinds (Binder
+// link-to-death), but a live malicious client can hold the connection —
+// and the victim's service — forever.
+func (m *Manager) Bind(in intent.Intent) (*Connection, error) {
+	match, err := m.resolver.ResolveExplicit(in, manifest.KindService)
+	if err != nil {
+		return nil, err
+	}
+	client := m.pm.ByUID(in.Sender)
+	if client == nil {
+		return nil, fmt.Errorf("service: unknown client uid %d", in.Sender)
+	}
+	if !client.Alive() {
+		return nil, fmt.Errorf("service: client %s is dead", client.Package())
+	}
+	svc := m.instance(match)
+	if !svc.app.Alive() {
+		svc.app.Revive()
+	}
+	m.watchOwnerDeath(svc.app)
+	wasRunning := svc.Running()
+	conn := &Connection{Client: in.Sender, svc: svc, bound: true}
+	svc.bindings[conn] = struct{}{}
+	client.LinkToDeath(func() {
+		if conn.bound {
+			m.unbind(conn, UnbindClientDeath)
+		}
+	})
+	for _, h := range m.hooks {
+		h.ServiceBound(m.engine.Now(), conn)
+	}
+	m.updateRunning(svc, wasRunning)
+	return conn, nil
+}
+
+// Unbind handles unbindService() for one connection.
+func (m *Manager) Unbind(conn *Connection) error {
+	if !conn.bound {
+		return fmt.Errorf("service: connection to %s already unbound", conn.svc.FullName())
+	}
+	m.unbind(conn, UnbindExplicit)
+	return nil
+}
+
+func (m *Manager) unbind(conn *Connection, cause UnbindCause) {
+	svc := conn.svc
+	wasRunning := svc.Running()
+	conn.bound = false
+	delete(svc.bindings, conn)
+	for _, h := range m.hooks {
+		h.ServiceUnbound(m.engine.Now(), conn, cause)
+	}
+	m.updateRunning(svc, wasRunning)
+}
+
+// Lookup returns the service instance for "package/Component", or nil.
+func (m *Manager) Lookup(full string) *Service { return m.services[full] }
+
+// Running returns all currently running services, sorted by full name.
+func (m *Manager) Running() []*Service {
+	var out []*Service
+	for _, s := range m.services {
+		if s.Running() {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+func (m *Manager) watchOwnerDeath(owner *app.App) {
+	if m.deathWatched[owner.UID] {
+		return
+	}
+	m.deathWatched[owner.UID] = true
+	owner.LinkToDeath(func() {
+		m.deathWatched[owner.UID] = false
+		for _, svc := range m.servicesOf(owner.UID) {
+			wasRunning := svc.Running()
+			if svc.started {
+				svc.started = false
+				for _, h := range m.hooks {
+					h.ServiceStopped(m.engine.Now(), owner.UID, svc, StopOwnerDeath)
+				}
+			}
+			for conn := range svc.bindings {
+				conn.bound = false
+				delete(svc.bindings, conn)
+				for _, h := range m.hooks {
+					h.ServiceUnbound(m.engine.Now(), conn, UnbindClientDeath)
+				}
+			}
+			m.updateRunning(svc, wasRunning)
+		}
+	})
+}
+
+func (m *Manager) servicesOf(uid app.UID) []*Service {
+	var out []*Service
+	for _, s := range m.services {
+		if s.app.UID == uid {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// updateRunning applies the hardware demand transition and fires the
+// running-changed hook.
+func (m *Manager) updateRunning(svc *Service, wasRunning bool) {
+	now := svc.Running()
+	if now == wasRunning {
+		return
+	}
+	if now {
+		w := svc.app.Workload(svc.component)
+		_ = m.agg.Set(svc, svc.app.UID, hw.Demand{
+			CPUUtil: w.CPUActive,
+			Camera:  w.Camera,
+			GPS:     w.GPS,
+			WiFi:    w.WiFi,
+			Audio:   w.Audio,
+		})
+	} else {
+		_ = m.agg.Clear(svc)
+	}
+	for _, h := range m.hooks {
+		h.ServiceRunning(m.engine.Now(), svc, now)
+	}
+}

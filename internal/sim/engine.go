@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrStopped is returned by Run variants when the engine was halted by a
+// call to Stop before the requested horizon was reached.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback. Events fire in timestamp order; ties are
+// broken by scheduling order (FIFO), which keeps scenarios deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	name string
+	fn   func()
+
+	index    int // heap index; -1 once popped or cancelled
+	canceled bool
+}
+
+// At reports the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Name reports the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core. It is not safe for
+// concurrent use: the simulated device is single-threaded by design, which
+// is what makes runs reproducible.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// tracers receive every fired event; used by tests and the CLI's
+	// -trace flag.
+	tracers []func(t Time, name string)
+}
+
+// NewEngine returns an engine whose clock reads T+0 and whose random
+// source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Trace registers fn to be called for every event that fires.
+func (e *Engine) Trace(fn func(t Time, name string)) {
+	e.tracers = append(e.tracers, fn)
+}
+
+// Schedule queues fn to run at instant at. Scheduling in the past (before
+// Now) panics: it always indicates a scenario bug, and silently clamping
+// would corrupt energy integration.
+func (e *Engine) Schedule(at Time, name string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, name: name, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current instant.
+func (e *Engine) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	return e.Schedule(e.now.Add(d), name, fn)
+}
+
+// Every schedules fn at period intervals, first firing one period from
+// now, until the returned Ticker is stopped. A period of zero or less
+// panics.
+func (e *Engine) Every(period Duration, name string, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v for %q", period, name))
+	}
+	t := &Ticker{engine: e, period: period, name: name, fn: fn}
+	t.arm()
+	return t
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		for _, tr := range e.tracers {
+			tr(e.now, ev.name)
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the clock would pass horizon, then advances
+// the clock exactly to horizon. Pending events after the horizon stay
+// queued. It returns ErrStopped if Stop was called mid-run.
+func (e *Engine) RunUntil(horizon Time) error {
+	if horizon < e.now {
+		return fmt.Errorf("sim: horizon %v before now %v", horizon, e.now)
+	}
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next.After(horizon) {
+			e.now = horizon
+			return nil
+		}
+		e.Step()
+	}
+	return ErrStopped
+}
+
+// RunFor is RunUntil(Now+d).
+func (e *Engine) RunFor(d Duration) error { return e.RunUntil(e.now.Add(d)) }
+
+// Drain fires every pending event. It returns ErrStopped if Stop was
+// called, and an error if the queue never empties within maxEvents fires
+// (a guard against runaway self-rescheduling scenarios).
+func (e *Engine) Drain(maxEvents int) error {
+	for i := 0; ; i++ {
+		if e.stopped {
+			return ErrStopped
+		}
+		if i >= maxEvents {
+			return fmt.Errorf("sim: drain exceeded %d events", maxEvents)
+		}
+		if !e.Step() {
+			return nil
+		}
+	}
+}
+
+// Pending reports the number of live (non-cancelled) queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) peek() (Time, bool) {
+	for e.queue.Len() > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
+
+// Ticker repeatedly schedules a callback at a fixed period.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	name    string
+	fn      func()
+	pending *Event
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.engine.After(t.period, t.name, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. Safe to call more than once.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.pending != nil {
+		t.pending.Cancel()
+	}
+}

@@ -1,0 +1,193 @@
+// Package surfaceflinger models the slice of Android's renderer process
+// that the paper's malware #4 abuses as a side channel: the shared
+// virtual memory backing visible window buffers. Each visible window
+// (activity surface or dialog) contributes its buffer bytes to the
+// process's shared memory size; an unprivileged app can read that size
+// (via /proc) and, because "both the root activity and the style of a
+// dialog usually remain unchanged for most apps", infer UI state changes
+// such as an exit dialog appearing — the UI inference attack of Chen et
+// al. that the paper builds malware #4 on.
+package surfaceflinger
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/activity"
+	"repro/internal/app"
+	"repro/internal/sim"
+)
+
+// Window buffer sizes in bytes. A full-screen surface is double-buffered
+// 768x1280 RGBA (Nexus 4 panel); dialogs render into a smaller surface.
+const (
+	// FullSurfaceBytes is an opaque full-screen activity surface.
+	FullSurfaceBytes = 768 * 1280 * 4 * 2
+	// TransparentSurfaceBytes is a transparent overlay activity surface
+	// (same geometry; kept distinct so overlays have a signature).
+	TransparentSurfaceBytes = 768 * 1280 * 4 * 2
+	// DialogSurfaceBytes is a dialog window surface.
+	DialogSurfaceBytes = 600 * 400 * 4 * 2
+)
+
+// Observer is notified on every shared-memory size change with the old
+// and new sizes. Malware registers one to watch for dialog signatures.
+type Observer func(t sim.Time, old, new int64)
+
+// Dialog is one visible dialog window.
+type Dialog struct {
+	Owner app.UID
+	Tag   string
+	bytes int64
+	fl    *Flinger
+}
+
+// Dismiss removes the dialog. Dismissing twice is an error.
+func (d *Dialog) Dismiss() error {
+	return d.fl.dismiss(d)
+}
+
+// Flinger tracks visible window surfaces and their total shared memory.
+// It implements activity.Hooks so activity visibility drives surface
+// allocation automatically; dialogs are attached explicitly.
+type Flinger struct {
+	engine *sim.Engine
+
+	activitySurfaces map[*activity.Activity]int64
+	dialogs          map[*Dialog]struct{}
+	observers        []Observer
+}
+
+// New builds a SurfaceFlinger model.
+func New(engine *sim.Engine) (*Flinger, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("surfaceflinger: nil engine")
+	}
+	return &Flinger{
+		engine:           engine,
+		activitySurfaces: make(map[*activity.Activity]int64),
+		dialogs:          make(map[*Dialog]struct{}),
+	}, nil
+}
+
+// SharedMem reports the current shared virtual memory size in bytes —
+// the value an unprivileged observer can read.
+func (f *Flinger) SharedMem() int64 {
+	var total int64
+	for _, b := range f.activitySurfaces {
+		total += b
+	}
+	for d := range f.dialogs {
+		total += d.bytes
+	}
+	return total
+}
+
+// Observe registers an observer for size changes.
+func (f *Flinger) Observe(o Observer) { f.observers = append(f.observers, o) }
+
+func (f *Flinger) mutate(apply func()) {
+	old := f.SharedMem()
+	apply()
+	now := f.SharedMem()
+	if now == old {
+		return
+	}
+	for _, o := range f.observers {
+		o(f.engine.Now(), old, now)
+	}
+}
+
+// ShowDialog attaches a dialog window owned by uid.
+func (f *Flinger) ShowDialog(owner app.UID, tag string) *Dialog {
+	d := &Dialog{Owner: owner, Tag: tag, bytes: DialogSurfaceBytes, fl: f}
+	f.mutate(func() { f.dialogs[d] = struct{}{} })
+	return d
+}
+
+func (f *Flinger) dismiss(d *Dialog) error {
+	if _, ok := f.dialogs[d]; !ok {
+		return fmt.Errorf("surfaceflinger: dialog %q already dismissed", d.Tag)
+	}
+	f.mutate(func() { delete(f.dialogs, d) })
+	return nil
+}
+
+// Dialogs returns the visible dialogs sorted by tag (diagnostics).
+func (f *Flinger) Dialogs() []*Dialog {
+	out := make([]*Dialog, 0, len(f.dialogs))
+	for d := range f.dialogs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// Sync seeds surfaces from an existing task stack — call once after
+// attaching to an activity manager that already booted (the launcher's
+// initial resume happened before any hooks could attach).
+func (f *Flinger) Sync(stack []*activity.Activity) {
+	f.mutate(func() {
+		for _, a := range stack {
+			f.applyVisibility(a)
+		}
+	})
+}
+
+func (f *Flinger) applyVisibility(a *activity.Activity) {
+	visible := a.State() == activity.Resumed || a.State() == activity.Paused
+	if visible {
+		bytes := int64(FullSurfaceBytes)
+		if a.Transparent() {
+			bytes = TransparentSurfaceBytes
+		}
+		f.activitySurfaces[a] = bytes
+	} else {
+		delete(f.activitySurfaces, a)
+	}
+}
+
+// --- activity.Hooks ---
+
+var _ activity.Hooks = (*Flinger)(nil)
+
+// ActivityStarted implements activity.Hooks (surfaces appear on resume,
+// not on start).
+func (f *Flinger) ActivityStarted(sim.Time, app.UID, *activity.Activity, bool) {}
+
+// ForegroundChanged implements activity.Hooks (no direct effect; the
+// lifecycle transitions carry the visibility changes).
+func (f *Flinger) ForegroundChanged(sim.Time, app.UID, app.UID, activity.Cause) {}
+
+// Lifecycle implements activity.Hooks: resumed and paused activities are
+// visible (a paused activity sits under a transparent overlay and its
+// surface stays live); stopped and destroyed ones release their
+// surfaces.
+func (f *Flinger) Lifecycle(t sim.Time, a *activity.Activity, old, new activity.State) {
+	f.mutate(func() { f.applyVisibility(a) })
+}
+
+// DialogSniffer watches shared-memory deltas for a dialog-sized
+// allocation — the malware-side inference logic. When a delta matching
+// the dialog signature appears, the callback fires.
+type DialogSniffer struct {
+	// OnDialog fires when a dialog-shaped allocation is observed.
+	OnDialog func(t sim.Time)
+	// hits counts matched signatures (diagnostics).
+	hits int
+}
+
+// Hits reports how many dialog signatures were observed.
+func (s *DialogSniffer) Hits() int { return s.hits }
+
+// Attach registers the sniffer on a flinger.
+func (s *DialogSniffer) Attach(f *Flinger) {
+	f.Observe(func(t sim.Time, old, new int64) {
+		if new-old == DialogSurfaceBytes {
+			s.hits++
+			if s.OnDialog != nil {
+				s.OnDialog(t)
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package surfaceflinger_test
+
+import (
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/app"
+	"repro/internal/device"
+	"repro/internal/manifest"
+	"repro/internal/sim"
+	"repro/internal/surfaceflinger"
+)
+
+func fixture(t *testing.T) (*device.Device, *app.App) {
+	t.Helper()
+	dev, err := device.New(device.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dev.Packages.MustInstall(manifest.NewBuilder("com.a", "A").
+		Activity("Main", true).
+		Activity("Overlay", true).
+		MustBuild())
+	return dev, a
+}
+
+func TestLauncherSurfacePresent(t *testing.T) {
+	dev, _ := fixture(t)
+	// The launcher home activity is resumed at boot.
+	if got := dev.Flinger.SharedMem(); got != surfaceflinger.FullSurfaceBytes {
+		t.Fatalf("boot shm = %d, want one full surface", got)
+	}
+}
+
+func TestActivityVisibilityDrivesSurfaces(t *testing.T) {
+	dev, a := fixture(t)
+	base := dev.Flinger.SharedMem()
+	rec, err := dev.Activities.UserStartApp("com.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opaque foreground activity: launcher stopped (surface released),
+	// app surface allocated — net unchanged.
+	if got := dev.Flinger.SharedMem(); got != base {
+		t.Fatalf("shm = %d, want %d (opaque swap)", got, base)
+	}
+	// Transparent overlay: the covered activity stays paused & visible,
+	// so total grows by one transparent surface.
+	if _, err := dev.StartActivity(a.UID, "com.a/Overlay", activity.Transparent()); err != nil {
+		t.Fatal(err)
+	}
+	want := base + surfaceflinger.TransparentSurfaceBytes
+	if got := dev.Flinger.SharedMem(); got != want {
+		t.Fatalf("shm = %d, want %d", got, want)
+	}
+	_ = rec
+}
+
+func TestDialogLifecycle(t *testing.T) {
+	dev, a := fixture(t)
+	base := dev.Flinger.SharedMem()
+	d := dev.Flinger.ShowDialog(a.UID, "exit")
+	if got := dev.Flinger.SharedMem(); got != base+surfaceflinger.DialogSurfaceBytes {
+		t.Fatalf("shm with dialog = %d", got)
+	}
+	if len(dev.Flinger.Dialogs()) != 1 {
+		t.Fatal("dialog not listed")
+	}
+	if err := d.Dismiss(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Flinger.SharedMem(); got != base {
+		t.Fatalf("shm after dismiss = %d, want %d", got, base)
+	}
+	if err := d.Dismiss(); err == nil {
+		t.Fatal("double dismiss accepted")
+	}
+}
+
+func TestObserverSeesChanges(t *testing.T) {
+	dev, a := fixture(t)
+	var deltas []int64
+	dev.Flinger.Observe(func(_ sim.Time, old, new int64) {
+		deltas = append(deltas, new-old)
+	})
+	d := dev.Flinger.ShowDialog(a.UID, "x")
+	if err := d.Dismiss(); err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 ||
+		deltas[0] != surfaceflinger.DialogSurfaceBytes ||
+		deltas[1] != -surfaceflinger.DialogSurfaceBytes {
+		t.Fatalf("deltas = %v", deltas)
+	}
+}
+
+func TestDialogSnifferInference(t *testing.T) {
+	// The malware-side logic: a dialog-sized shared-memory delta reveals
+	// the exit dialog even though the observer never sees UI contents.
+	dev, a := fixture(t)
+	fired := 0
+	sniffer := &surfaceflinger.DialogSniffer{
+		OnDialog: func(sim.Time) { fired++ },
+	}
+	sniffer.Attach(dev.Flinger)
+
+	// Noise: activity churn must not trigger the sniffer.
+	if _, err := dev.Activities.UserStartApp("com.a"); err != nil {
+		t.Fatal(err)
+	}
+	dev.Activities.Home(app.UIDSystem)
+	if fired != 0 {
+		t.Fatalf("sniffer fired on activity churn: %d", fired)
+	}
+	// The dialog signature triggers it.
+	dev.Flinger.ShowDialog(a.UID, "exit")
+	if fired != 1 || sniffer.Hits() != 1 {
+		t.Fatalf("fired = %d, hits = %d", fired, sniffer.Hits())
+	}
+}
+
+func TestNewNilEngine(t *testing.T) {
+	if _, err := surfaceflinger.New(nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}
