@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race bench fleet-bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The fleet runner is the only concurrent code in the repo; the rest of
+# the simulation is single-threaded by design. Race-cleanliness of
+# internal/fleet (and of the packages that drive it) is an acceptance
+# gate for every PR that touches concurrency.
+race:
+	$(GO) test -race -count=1 ./internal/fleet/... ./internal/experiments/... .
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .
+
+# Regenerate the BENCH_fleet.json scaling artifact.
+fleet-bench:
+	$(GO) run ./cmd/benchsuite -fleet 64 -workers 8
+
+clean:
+	$(GO) clean ./...

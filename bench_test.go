@@ -128,3 +128,28 @@ func BenchmarkFig11AnTuTu(b *testing.B) {
 		requireNoErr(b, err)
 	}
 }
+
+// benchFleet runs the scaling workload (stealth attack + power-signature
+// sampling over a 30-minute virtual window per device) at the given
+// fleet size and worker count. The BenchmarkFleet{1,4,16,64} series
+// records the size trajectory; the Workers pair records pool speedup
+// (meaningful only on multicore hardware — per-device engines stay
+// single-threaded, so parallelism is across devices).
+func benchFleet(b *testing.B, devices, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fr, err := experiments.FleetBenchStudy(devices, workers, 42)
+		requireNoErr(b, err)
+		if fr.Summary.Failed != 0 {
+			b.Fatalf("%d devices failed", fr.Summary.Failed)
+		}
+	}
+}
+
+func BenchmarkFleet1(b *testing.B)  { benchFleet(b, 1, 0) }
+func BenchmarkFleet4(b *testing.B)  { benchFleet(b, 4, 0) }
+func BenchmarkFleet16(b *testing.B) { benchFleet(b, 16, 0) }
+func BenchmarkFleet64(b *testing.B) { benchFleet(b, 64, 0) }
+
+func BenchmarkFleet64Workers1(b *testing.B) { benchFleet(b, 64, 1) }
+func BenchmarkFleet64Workers8(b *testing.B) { benchFleet(b, 64, 8) }

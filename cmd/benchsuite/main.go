@@ -9,13 +9,16 @@
 //	benchsuite -micro     # Figure 10 only
 //	benchsuite -antutu    # Figure 11 only
 //	benchsuite -energy    # energy-efficiency check only
+//	benchsuite -fleet 64 -workers 8   # fleet scaling study -> BENCH_fleet.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/accounting"
 	"repro/internal/antutu"
@@ -38,8 +41,15 @@ func run(args []string) error {
 	antutuOnly := fs.Bool("antutu", false, "run the Figure 11 AnTuTu benchmark only")
 	energy := fs.Bool("energy", false, "run the energy-efficiency parity check only")
 	reps := fs.Int("reps", microbench.DefaultReps, "micro benchmark repetitions")
+	fleetN := fs.Int("fleet", 0, "run an N-device fleet scaling study")
+	workers := fs.Int("workers", 0, "fleet worker count (0 = GOMAXPROCS)")
+	fleetSeed := fs.Int64("fleet-seed", 42, "fleet seed (per-device seeds derive from it)")
+	fleetOut := fs.String("fleet-out", "BENCH_fleet.json", "fleet artifact path (empty = don't write)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fleetN > 0 {
+		return fleetBench(*fleetN, *workers, *fleetSeed, *fleetOut)
 	}
 	all := !*micro && !*antutuOnly && !*energy
 
@@ -62,6 +72,100 @@ func run(args []string) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// fleetArtifact is the BENCH_fleet.json schema: one scaling record per
+// run, so successive PRs can track the fleet's perf trajectory.
+type fleetArtifact struct {
+	Devices       int           `json:"devices"`
+	Seed          int64         `json:"seed"`
+	Runs          []fleetTiming `json:"runs"`
+	Speedup       float64       `json:"speedup"`
+	Deterministic bool          `json:"deterministic"`
+	Summary       fleetNumbers  `json:"summary"`
+}
+
+type fleetTiming struct {
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+type fleetNumbers struct {
+	TotalDrainedJ float64 `json:"total_drained_j"`
+	Attacks       int     `json:"attacks"`
+	DetectionRate float64 `json:"detection_rate"`
+	Failed        int     `json:"failed"`
+}
+
+// fleetBench runs the stealth-attack fleet twice — serial, then with
+// the requested worker count — prints the aggregate, checks the two
+// renders match byte for byte, and records timings in BENCH_fleet.json.
+func fleetBench(devices, workers int, seed int64, outPath string) error {
+	type runOut struct {
+		timing  fleetTiming
+		render  string
+		numbers fleetNumbers
+	}
+	runAt := func(w int) (runOut, error) {
+		start := time.Now()
+		fr, err := experiments.FleetBenchStudy(devices, w, seed)
+		if err != nil {
+			return runOut{}, err
+		}
+		wall := time.Since(start)
+		for _, r := range fr.Results {
+			if r.Err != nil {
+				return runOut{}, fmt.Errorf("device %d: %w", r.Index, r.Err)
+			}
+		}
+		return runOut{
+			timing: fleetTiming{Workers: fr.Workers, WallMS: float64(wall.Microseconds()) / 1000},
+			render: fr.Render(),
+			numbers: fleetNumbers{
+				TotalDrainedJ: fr.Summary.TotalDrainedJ,
+				Attacks:       fr.Summary.Attacks,
+				DetectionRate: fr.Summary.DetectionRate(),
+				Failed:        fr.Summary.Failed,
+			},
+		}, nil
+	}
+
+	serial, err := runAt(1)
+	if err != nil {
+		return err
+	}
+	parallel, err := runAt(workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(parallel.render)
+
+	art := fleetArtifact{
+		Devices:       devices,
+		Seed:          seed,
+		Runs:          []fleetTiming{serial.timing, parallel.timing},
+		Speedup:       serial.timing.WallMS / parallel.timing.WallMS,
+		Deterministic: serial.render == parallel.render,
+		Summary:       parallel.numbers,
+	}
+	fmt.Printf("fleet: %d devices, workers %d vs 1: %.1fms vs %.1fms (%.2fx), deterministic=%v\n",
+		devices, parallel.timing.Workers, parallel.timing.WallMS, serial.timing.WallMS,
+		art.Speedup, art.Deterministic)
+	if !art.Deterministic {
+		return fmt.Errorf("fleet aggregate differs between worker counts — determinism bug")
+	}
+	if outPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }
 

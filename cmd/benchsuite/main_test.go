@@ -1,6 +1,38 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFleetBenchWritesArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	if err := run([]string{"-fleet", "4", "-workers", "2", "-fleet-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art fleetArtifact
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.Devices != 4 || len(art.Runs) != 2 || !art.Deterministic {
+		t.Fatalf("artifact = %+v", art)
+	}
+	if art.Summary.TotalDrainedJ <= 0 || art.Summary.DetectionRate != 1 {
+		t.Fatalf("summary = %+v", art.Summary)
+	}
+}
+
+func TestFleetBenchNoArtifact(t *testing.T) {
+	if err := run([]string{"-fleet", "2", "-workers", "2", "-fleet-out", ""}); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func TestMicroOnly(t *testing.T) {
 	if err := run([]string{"-micro", "-reps", "6"}); err != nil {

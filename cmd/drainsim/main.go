@@ -7,6 +7,7 @@
 //	drainsim                 # summary + decile table
 //	drainsim -step 10s       # finer integration step
 //	drainsim -csv            # full per-percent series as CSV
+//	drainsim -workers 5      # sweep the five configurations in parallel
 package main
 
 import (
@@ -29,10 +30,17 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("drainsim", flag.ContinueOnError)
 	step := fs.Duration("step", 30*time.Second, "integration step")
 	csv := fs.Bool("csv", false, "emit the full per-percent series as CSV")
+	workers := fs.Int("workers", 1, "run configurations concurrently on this many workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := experiments.Fig3WithStep(*step)
+	var res *experiments.Fig3Result
+	var err error
+	if *workers == 1 {
+		res, err = experiments.Fig3WithStep(*step)
+	} else {
+		res, err = experiments.Fig3WithStepWorkers(*step, *workers)
+	}
 	if err != nil {
 		return err
 	}

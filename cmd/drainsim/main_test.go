@@ -14,6 +14,12 @@ func TestCSV(t *testing.T) {
 	}
 }
 
+func TestParallelWorkers(t *testing.T) {
+	if err := run([]string{"-step", "15m", "-workers", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBadStep(t *testing.T) {
 	if err := run([]string{"-step", "-5s"}); err == nil {
 		t.Fatal("negative step accepted")

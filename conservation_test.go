@@ -1,0 +1,126 @@
+package eandroid_test
+
+// Energy conservation property: whatever a randomized scenario does,
+// every joule drained from the battery must appear in exactly one entry
+// of the BatteryStats view — per-app, Screen or System. A gap means an
+// attribution leak in internal/accounting or internal/core; an excess
+// means double-charging.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	eandroid "repro"
+)
+
+// randomScenario drives one device through a random script drawn from
+// rng and returns it flushed.
+func randomScenario(t *testing.T, rng *rand.Rand) *eandroid.Device {
+	t.Helper()
+	dev := eandroid.MustNew(eandroid.Config{
+		EAndroid: rng.Intn(2) == 0,
+		Seed:     rng.Int63(),
+	})
+
+	nApps := 2 + rng.Intn(4)
+	pkgs := make([]string, nApps)
+	uids := make([]eandroid.UID, nApps)
+	for i := range pkgs {
+		pkgs[i] = fmt.Sprintf("com.prop.app%d", i)
+		b := eandroid.NewManifest(pkgs[i], fmt.Sprintf("App%d", i)).
+			Permission(eandroid.PermWakeLock, eandroid.PermWriteSettings).
+			Activity("Main", true).
+			Service("Work", true)
+		a, err := dev.Packages.Install(b.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetWorkload("Main", eandroid.Workload{
+			CPUActive:     rng.Float64() * 0.8,
+			CPUBackground: rng.Float64() * 0.1,
+			WiFi:          rng.Intn(3) == 0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetWorkload("Work", eandroid.Workload{CPUActive: rng.Float64() * 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		uids[i] = a.UID
+	}
+
+	steps := 3 + rng.Intn(8)
+	for s := 0; s < steps; s++ {
+		i := rng.Intn(nApps)
+		j := rng.Intn(nApps)
+		switch rng.Intn(6) {
+		case 0:
+			if _, err := dev.Activities.UserStartApp(pkgs[i]); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			// Cross-app activity start: collateral when i != j.
+			if _, err := dev.StartActivity(uids[i], pkgs[j]+"/Main"); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if _, err := dev.StartService(uids[i], pkgs[j]+"/Work"); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			if _, err := dev.BindService(uids[i], pkgs[j]+"/Work"); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			if err := dev.Display.SetBrightness(uids[i], eandroid.SourceApp, rng.Intn(256)); err != nil {
+				t.Fatal(err)
+			}
+		case 5:
+			if _, err := dev.Power.Acquire(uids[i], eandroid.ScreenBrightWakeLock,
+				fmt.Sprintf("wl-%d", s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := dev.Run(time.Duration(1+rng.Intn(20)) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.Flush()
+	return dev
+}
+
+func TestPropertyEnergyConservation(t *testing.T) {
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			dev := randomScenario(t, rng)
+
+			var attributed float64
+			for _, e := range dev.Android.Entries() {
+				attributed += e.TotalJ
+			}
+			drained := dev.Battery.DrainedJ()
+			if drained <= 0 {
+				t.Fatal("scenario drained nothing — property is vacuous")
+			}
+			if diff := math.Abs(attributed - drained); diff > 1e-6 {
+				t.Fatalf("attribution leak: battery drained %.9f J but views account for %.9f J (diff %.3g J)",
+					drained, attributed, diff)
+			}
+			// The monitor's collateral maps are a re-labelling layered on
+			// the baseline ledger, so they must never mint energy: each
+			// driving app's collateral is bounded by the total drain.
+			if dev.EAndroid != nil {
+				for _, a := range dev.EAndroid.Attacks() {
+					if c := dev.EAndroid.CollateralJ(a.Driving); c < 0 || c > drained+1e-6 {
+						t.Fatalf("collateral for uid %d = %.9f J outside [0, %.9f]", a.Driving, c, drained)
+					}
+				}
+			}
+		})
+	}
+}

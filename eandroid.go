@@ -17,6 +17,8 @@
 package eandroid
 
 import (
+	"context"
+
 	"repro/internal/accounting"
 	"repro/internal/activity"
 	"repro/internal/app"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/display"
+	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/intent"
 	"repro/internal/manifest"
@@ -165,6 +168,35 @@ var (
 
 // NexusBatteryJ is the default battery capacity in joules.
 const NexusBatteryJ = hw.NexusBatteryJ
+
+// Fleet API: run many independent devices concurrently (one
+// single-threaded engine per goroutine) with per-device seeds derived
+// from a fleet seed and order-stable aggregation.
+type (
+	// FleetSpec describes a fleet run: device count, worker bound,
+	// fleet seed, config template, scenario func and horizon.
+	FleetSpec = fleet.Spec
+	// FleetResult is a completed fleet run: per-device results sorted
+	// by index plus the merged summary.
+	FleetResult = fleet.FleetResult
+	// FleetDeviceResult is the harvest of one device in the fleet.
+	FleetDeviceResult = fleet.Result
+	// FleetSummary is the fleet-level merge of all device results.
+	FleetSummary = fleet.Summary
+)
+
+// RunFleet executes spec's devices on a bounded worker pool. Per-device
+// failures (including panics) are captured in the matching
+// FleetDeviceResult.Err; ctx cancels dispatch and in-flight horizons.
+func RunFleet(ctx context.Context, spec FleetSpec) (*FleetResult, error) {
+	return fleet.Run(ctx, spec)
+}
+
+// FleetDeviceSeed reports the engine seed device i of a fleet would
+// run with (splitmix64 derivation from the fleet seed).
+func FleetDeviceSeed(fleetSeed int64, i int) int64 {
+	return fleet.DeviceSeed(fleetSeed, i)
+}
 
 // Service-facing aliases used by advanced callers.
 type (

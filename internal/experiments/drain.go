@@ -99,55 +99,63 @@ func Fig3WithStep(step time.Duration) (*Fig3Result, error) {
 	return res, nil
 }
 
-func drainCurve(name string, step time.Duration) (DrainCurve, error) {
-	w, err := scenario.NewWorld(device.Config{Policy: accounting.BatteryStats})
-	if err != nil {
-		return DrainCurve{}, err
-	}
+// applyDrainConfig arms one Figure 3 configuration on a populated
+// world: screen forced on by wakelock, then the config's brightness or
+// attack. Shared by the serial sweep and the fleet-backed variants.
+func applyDrainConfig(w *scenario.World, name string) error {
 	dev := w.Dev
 	// Every configuration forces the screen on via a wakelock, per the
 	// paper's setup.
 	if err := w.ForceScreenOn(); err != nil {
-		return DrainCurve{}, err
+		return err
 	}
 	setBrightness := func(level int) error {
 		return dev.Display.SetBrightness(app.UIDSystem, display.SourceSystemUI, level)
 	}
 	switch name {
 	case "brightness_low":
-		if err := setBrightness(0); err != nil {
-			return DrainCurve{}, err
-		}
+		return setBrightness(0)
 	case "brightness_10":
-		if err := setBrightness(10); err != nil {
-			return DrainCurve{}, err
-		}
+		return setBrightness(10)
 	case "brightness_full":
-		if err := setBrightness(255); err != nil {
-			return DrainCurve{}, err
-		}
+		return setBrightness(255)
 	case "bind_service":
 		if err := setBrightness(0); err != nil {
-			return DrainCurve{}, err
+			return err
 		}
-		if _, err := dev.Services.Bind(intent.Intent{
+		_, err := dev.Services.Bind(intent.Intent{
 			Sender:    w.Malware.UID,
 			Component: scenario.PkgVictim + "/Work",
-		}); err != nil {
-			return DrainCurve{}, err
-		}
+		})
+		return err
 	case "interrupt_app":
 		if err := setBrightness(0); err != nil {
-			return DrainCurve{}, err
+			return err
 		}
 		if _, err := dev.Activities.UserStartApp(scenario.PkgVictim); err != nil {
-			return DrainCurve{}, err
+			return err
 		}
 		// Malware forces the victim into the background, where it keeps
 		// draining its residual share.
 		dev.Activities.Home(w.Malware.UID)
-	default:
-		return DrainCurve{}, fmt.Errorf("unknown drain config %q", name)
+		return nil
+	}
+	return fmt.Errorf("unknown drain config %q", name)
+}
+
+func drainCurve(name string, step time.Duration) (DrainCurve, error) {
+	w, err := scenario.NewWorld(device.Config{Policy: accounting.BatteryStats})
+	if err != nil {
+		return DrainCurve{}, err
+	}
+	return drainCurveOn(w, name, step)
+}
+
+// drainCurveOn runs one depletion sweep on an already-built world.
+func drainCurveOn(w *scenario.World, name string, step time.Duration) (DrainCurve, error) {
+	dev := w.Dev
+	if err := applyDrainConfig(w, name); err != nil {
+		return DrainCurve{}, err
 	}
 
 	curve := DrainCurve{Name: name}

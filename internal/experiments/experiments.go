@@ -43,6 +43,7 @@ func All() []Spec {
 		{"fig11", "AnTuTu benchmark", func() (Renderer, error) { return Fig11() }},
 		{"ext-detection", "Extension: battery interface vs power signatures vs E-Android", func() (Renderer, error) { return ExtDetection() }},
 		{"ext-stealth", "Extension: stealth auto-launch on unlock", func() (Renderer, error) { return ExtStealth() }},
+		{"ext-fleet", "Extension: fleet-parallel stealth + drain studies", func() (Renderer, error) { return ExtFleet() }},
 	}
 }
 

@@ -12,8 +12,8 @@ import (
 
 func TestAllRegistryResolves(t *testing.T) {
 	specs := All()
-	if len(specs) != 17 {
-		t.Fatalf("experiments = %d, want 17 (15 paper variants + 2 extensions)", len(specs))
+	if len(specs) != 18 {
+		t.Fatalf("experiments = %d, want 18 (15 paper variants + 3 extensions)", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {

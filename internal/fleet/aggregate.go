@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/core"
+)
+
+// Summary is the fleet-level merge of every successful device result.
+// All maps are keyed the same way as the per-device results; because
+// every device installs apps in the same order, a UID means the same
+// app on every device in the fleet.
+type Summary struct {
+	// Devices and Failed count the fleet's outcomes; Detected counts
+	// devices whose monitor recorded at least one attack.
+	Devices  int
+	Failed   int
+	Detected int
+	// TotalDrainedJ sums battery drain across successful devices.
+	TotalDrainedJ float64
+	// EnergyByUID merges the baseline ledgers.
+	EnergyByUID map[app.UID]float64
+	// CollateralByUID merges E-Android's collateral maps.
+	CollateralByUID map[app.UID]float64
+	// AttacksByVector merges the attack logs.
+	AttacksByVector map[core.Vector]int
+	// Attacks is the fleet-wide attack total.
+	Attacks int
+	// Labels maps each UID to its label (taken from the first device
+	// that reported it).
+	Labels map[app.UID]string
+}
+
+// DetectionRate reports the fraction of successful devices whose
+// monitor recorded at least one attack (NaN-free: zero when no device
+// succeeded).
+func (s Summary) DetectionRate() float64 {
+	ok := s.Devices - s.Failed
+	if ok == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(ok)
+}
+
+// MeanDrainedJ reports average battery drain per successful device.
+func (s Summary) MeanDrainedJ() float64 {
+	ok := s.Devices - s.Failed
+	if ok == 0 {
+		return 0
+	}
+	return s.TotalDrainedJ / float64(ok)
+}
+
+// summarize merges results in index order. Iterating the sorted slice
+// (not the maps) keeps every floating-point sum order-stable, which is
+// what makes the rendered aggregate byte-identical across worker
+// counts.
+func summarize(results []Result) Summary {
+	s := Summary{
+		Devices:         len(results),
+		EnergyByUID:     make(map[app.UID]float64),
+		CollateralByUID: make(map[app.UID]float64),
+		AttacksByVector: make(map[core.Vector]int),
+		Labels:          make(map[app.UID]string),
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			s.Failed++
+			continue
+		}
+		s.TotalDrainedJ += r.DrainedJ
+		s.Attacks += r.Attacks
+		if r.Detected {
+			s.Detected++
+		}
+		for uid, j := range r.EnergyByUID {
+			s.EnergyByUID[uid] += j
+		}
+		for uid, j := range r.CollateralByUID {
+			s.CollateralByUID[uid] += j
+		}
+		for v, n := range r.AttacksByVector {
+			s.AttacksByVector[v] += n
+		}
+		for uid, label := range r.Labels {
+			if _, ok := s.Labels[uid]; !ok {
+				s.Labels[uid] = label
+			}
+		}
+	}
+	return s
+}
+
+// sortedUIDs returns m's keys in ascending UID order.
+func sortedUIDs(m map[app.UID]float64) []app.UID {
+	uids := make([]app.UID, 0, len(m))
+	for uid := range m {
+		uids = append(uids, uid)
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	return uids
+}
+
+// Render prints the fleet report: outcome counts, merged energy
+// ledgers, attack totals and per-device one-liners, all in deterministic
+// order.
+func (fr *FleetResult) Render() string {
+	var b strings.Builder
+	s := fr.Summary
+	fmt.Fprintf(&b, "=== Fleet: %d devices, seed %d ===\n", s.Devices, fr.Seed)
+	fmt.Fprintf(&b, "outcome:   %d ok, %d failed\n", s.Devices-s.Failed, s.Failed)
+	fmt.Fprintf(&b, "drain:     %.3f J total, %.3f J mean/device\n", s.TotalDrainedJ, s.MeanDrainedJ())
+	fmt.Fprintf(&b, "attacks:   %d total, detection rate %.1f%%\n", s.Attacks, s.DetectionRate()*100)
+	if len(s.AttacksByVector) > 0 {
+		vectors := make([]core.Vector, 0, len(s.AttacksByVector))
+		for v := range s.AttacksByVector {
+			vectors = append(vectors, v)
+		}
+		sort.Slice(vectors, func(i, j int) bool { return vectors[i] < vectors[j] })
+		b.WriteString("  by vector:")
+		for _, v := range vectors {
+			fmt.Fprintf(&b, " %s=%d", v, s.AttacksByVector[v])
+		}
+		b.WriteString("\n")
+	}
+	if len(s.EnergyByUID) > 0 {
+		b.WriteString("energy by app (fleet total):\n")
+		for _, uid := range sortedUIDs(s.EnergyByUID) {
+			fmt.Fprintf(&b, "  %-24s %12.3f J\n", s.Labels[uid], s.EnergyByUID[uid])
+		}
+	}
+	if len(s.CollateralByUID) > 0 {
+		b.WriteString("collateral by driving app (fleet total):\n")
+		for _, uid := range sortedUIDs(s.CollateralByUID) {
+			fmt.Fprintf(&b, "  %-24s %12.3f J\n", s.Labels[uid], s.CollateralByUID[uid])
+		}
+	}
+	b.WriteString("devices:\n")
+	for _, r := range fr.Results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "  #%03d seed=%-20d FAILED: %v\n", r.Index, r.Seed, firstLine(r.Err.Error()))
+			continue
+		}
+		fmt.Fprintf(&b, "  #%03d seed=%-20d drained %10.3f J  battery %6.2f%%  attacks %d\n",
+			r.Index, r.Seed, r.DrainedJ, r.BatteryPct, r.Attacks)
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,297 @@
+// Package fleet runs many independent device simulations concurrently.
+//
+// The per-device engine stays strictly single-threaded — determinism is
+// the simulation's hard requirement — so the unit of parallelism is the
+// whole device: one engine per goroutine, never two goroutines in one
+// engine. A bounded worker pool (default GOMAXPROCS) pulls device
+// indices from a queue, builds each device from the shared Config
+// template with a per-device seed derived from the fleet seed via
+// splitmix64, runs its scenario plus horizon, and harvests a Result.
+// Aggregation is order-stable: results are sorted by device index and
+// all merged summaries iterate in sorted key order, so the fleet's
+// aggregate output is byte-identical for any worker count.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Spec describes one fleet run: N devices built from a common template,
+// each scripted by Scenario and advanced to Horizon.
+type Spec struct {
+	// Devices is the fleet size. Must be at least 1.
+	Devices int
+	// Workers bounds concurrency; zero or negative means GOMAXPROCS.
+	Workers int
+	// Seed is the fleet seed. Device i runs with DeviceSeed(Seed, i),
+	// so the whole fleet is reproducible from one number.
+	Seed int64
+	// Config is the device template. Its Seed field is overridden per
+	// device; everything else is shared.
+	Config device.Config
+	// Scenario scripts device i. It may drive the device's virtual
+	// clock itself (dev.Run) or rely on Horizon; a nil Scenario runs an
+	// idle device. It must not retain dev past its return.
+	Scenario func(i int, dev *device.Device) error
+	// Horizon is additional virtual time to run after Scenario returns.
+	Horizon time.Duration
+	// Collect, when non-nil, extracts a scenario-specific payload from
+	// device i after the run; it lands in Result.Custom.
+	Collect func(i int, dev *device.Device) (any, error)
+}
+
+// Result is the harvest of one device's run. The standard energy and
+// attack summaries are always populated on success; Custom holds
+// whatever Spec.Collect returned.
+type Result struct {
+	// Index is the device's position in the fleet, 0-based.
+	Index int
+	// Seed is the derived per-device seed the run used.
+	Seed int64
+	// Err is non-nil when the device failed: build error, scenario
+	// error, captured panic, or context cancellation. All other fields
+	// except Index and Seed are zero when Err is set.
+	Err error
+
+	// SimEnd is the device's virtual clock at harvest time.
+	SimEnd sim.Time
+	// DrainedJ is total battery energy drained.
+	DrainedJ float64
+	// BatteryPct is the remaining charge percentage.
+	BatteryPct float64
+	// EnergyByUID is the baseline accountant's per-UID ledger
+	// (including the screen and system pseudo-UIDs).
+	EnergyByUID map[app.UID]float64
+	// CollateralByUID is E-Android's per-driving-app collateral energy;
+	// nil when the monitor is disabled.
+	CollateralByUID map[app.UID]float64
+	// AttacksByVector counts the monitor's recorded attacks per vector;
+	// nil when the monitor is disabled.
+	AttacksByVector map[core.Vector]int
+	// Attacks is the total attack count.
+	Attacks int
+	// Detected reports whether the monitor recorded at least one
+	// attack on this device.
+	Detected bool
+	// Labels maps every UID seen in this device's ledgers to its
+	// human-readable label.
+	Labels map[app.UID]string
+	// Custom is Spec.Collect's payload, if any.
+	Custom any
+}
+
+// FleetResult is a completed fleet run: per-device results sorted by
+// index, plus the merged summary.
+type FleetResult struct {
+	Seed    int64
+	Workers int
+	Results []Result
+	Summary Summary
+}
+
+// panicError preserves a captured scenario panic, including its stack,
+// without tearing down the rest of the fleet.
+type panicError struct {
+	index int
+	value any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("fleet: device %d panicked: %v\n%s", p.index, p.value, p.stack)
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood 2014) —
+// one multiply-xorshift pipeline that spreads consecutive inputs across
+// the full 64-bit space. It is the standard way to derive independent
+// stream seeds from a master seed plus an index.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeviceSeed derives device i's engine seed from the fleet seed. The
+// derivation is pure, so any subset of the fleet can be re-run in
+// isolation and still see the same random stream.
+func DeviceSeed(fleetSeed int64, i int) int64 {
+	return int64(splitmix64(uint64(fleetSeed) + uint64(i)*0x9e3779b97f4a7c15))
+}
+
+// Run executes the fleet described by spec. Per-device failures (errors
+// or panics) are captured in the matching Result.Err and never abort
+// the rest of the fleet; Run itself returns an error only for an
+// invalid spec. Cancelling ctx stops dispatching new devices and halts
+// in-flight horizon runs at their next check; affected devices report
+// ctx's error.
+func Run(ctx context.Context, spec Spec) (*FleetResult, error) {
+	if spec.Devices < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 device, got %d", spec.Devices)
+	}
+	if spec.Horizon < 0 {
+		return nil, fmt.Errorf("fleet: negative horizon %v", spec.Horizon)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Devices {
+		workers = spec.Devices
+	}
+
+	results := make([]Result, spec.Devices)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runDevice(ctx, spec, i)
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < spec.Devices; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark everything not yet dispatched as cancelled.
+			for j := i; j < spec.Devices; j++ {
+				results[j] = Result{Index: j, Seed: DeviceSeed(spec.Seed, j), Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Workers write only their own index, so the slice is already
+	// index-ordered; the sort documents (and enforces) the contract.
+	sort.Slice(results, func(a, b int) bool { return results[a].Index < results[b].Index })
+	return &FleetResult{
+		Seed:    spec.Seed,
+		Workers: workers,
+		Results: results,
+		Summary: summarize(results),
+	}, nil
+}
+
+// runDevice builds, scripts, runs and harvests one device, converting
+// panics into errors so a bad scenario cannot take down the pool.
+func runDevice(ctx context.Context, spec Spec, i int) (res Result) {
+	res = Result{Index: i, Seed: DeviceSeed(spec.Seed, i)}
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Index: res.Index, Seed: res.Seed,
+				Err: &panicError{index: i, value: r, stack: debug.Stack()}}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+
+	cfg := spec.Config
+	cfg.Seed = res.Seed
+	dev, err := device.New(cfg)
+	if err != nil {
+		res.Err = fmt.Errorf("fleet: device %d: %w", i, err)
+		return res
+	}
+	if spec.Scenario != nil {
+		if err := spec.Scenario(i, dev); err != nil {
+			res.Err = fmt.Errorf("fleet: device %d scenario: %w", i, err)
+			return res
+		}
+	}
+	if err := runHorizon(ctx, dev, spec.Horizon); err != nil {
+		res.Err = fmt.Errorf("fleet: device %d: %w", i, err)
+		return res
+	}
+	harvest(&res, dev)
+	if spec.Collect != nil {
+		custom, err := spec.Collect(i, dev)
+		if err != nil {
+			res.Err = fmt.Errorf("fleet: device %d collect: %w", i, err)
+			return res
+		}
+		res.Custom = custom
+	}
+	return res
+}
+
+// horizonChecks is how many times a horizon run polls for cancellation.
+// Running to an absolute target in slices is behaviour-identical to one
+// RunUntil call — the event stream and random draws are untouched — so
+// chunking costs nothing in determinism.
+const horizonChecks = 32
+
+func runHorizon(ctx context.Context, dev *device.Device, horizon time.Duration) error {
+	if horizon <= 0 {
+		return nil
+	}
+	target := dev.Engine.Now().Add(horizon)
+	chunk := horizon / horizonChecks
+	for dev.Engine.Now().Before(target) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		next := dev.Engine.Now().Add(chunk)
+		if chunk <= 0 || next.After(target) {
+			next = target
+		}
+		if err := dev.Engine.RunUntil(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// harvest reads the device's ledgers into res. It flushes first, so the
+// numbers are settled up to the device's current instant.
+func harvest(res *Result, dev *device.Device) {
+	dev.Flush()
+	res.SimEnd = dev.Engine.Now()
+	res.DrainedJ = dev.Battery.DrainedJ()
+	res.BatteryPct = dev.Battery.Percent()
+	res.EnergyByUID = make(map[app.UID]float64)
+	res.Labels = make(map[app.UID]string)
+	for _, e := range dev.Android.Entries() {
+		res.EnergyByUID[e.UID] += e.TotalJ
+		res.Labels[e.UID] = dev.Packages.Label(e.UID)
+	}
+	if dev.EAndroid == nil {
+		return
+	}
+	res.AttacksByVector = make(map[core.Vector]int)
+	drivers := make(map[app.UID]bool)
+	for _, a := range dev.EAndroid.Attacks() {
+		res.AttacksByVector[a.Vector]++
+		res.Attacks++
+		drivers[a.Driving] = true
+	}
+	res.Detected = res.Attacks > 0
+	res.CollateralByUID = make(map[app.UID]float64)
+	for uid := range drivers {
+		res.CollateralByUID[uid] = dev.EAndroid.CollateralJ(uid)
+		if _, ok := res.Labels[uid]; !ok {
+			res.Labels[uid] = dev.Packages.Label(uid)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/scenario"
+)
+
+// attackSpec is the canonical test fleet: every device installs the
+// demo cast and mounts the service-pin attack, so the monitor has real
+// collateral energy and attacks to aggregate.
+func attackSpec(devices, workers int, seed int64) Spec {
+	return Spec{
+		Devices: devices,
+		Workers: workers,
+		Seed:    seed,
+		Config:  device.Config{EAndroid: true},
+		Scenario: func(i int, dev *device.Device) error {
+			w, err := scenario.Populate(dev)
+			if err != nil {
+				return err
+			}
+			if err := w.ForceScreenOn(); err != nil {
+				return err
+			}
+			return w.Attack3ServicePin(10 * time.Second)
+		},
+		Horizon: 5 * time.Second,
+	}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{Devices: 0}); err == nil {
+		t.Fatal("expected error for zero devices")
+	}
+	if _, err := Run(context.Background(), Spec{Devices: 1, Horizon: -time.Second}); err == nil {
+		t.Fatal("expected error for negative horizon")
+	}
+}
+
+func TestFleetRunsEveryDevice(t *testing.T) {
+	fr, err := Run(context.Background(), attackSpec(6, 3, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Results) != 6 {
+		t.Fatalf("results = %d, want 6", len(fr.Results))
+	}
+	for i, r := range fr.Results {
+		if r.Index != i {
+			t.Fatalf("results not index-ordered: results[%d].Index = %d", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Fatalf("device %d failed: %v", i, r.Err)
+		}
+		if r.Seed != DeviceSeed(42, i) {
+			t.Fatalf("device %d seed = %d, want %d", i, r.Seed, DeviceSeed(42, i))
+		}
+		if r.DrainedJ <= 0 {
+			t.Fatalf("device %d drained %v J, want > 0", i, r.DrainedJ)
+		}
+		if !r.Detected || r.AttacksByVector[core.VectorServiceBind] == 0 {
+			t.Fatalf("device %d: service-bind attack not recorded: %+v", i, r.AttacksByVector)
+		}
+	}
+	s := fr.Summary
+	if s.Failed != 0 || s.Devices != 6 {
+		t.Fatalf("summary outcome = %d/%d", s.Devices-s.Failed, s.Devices)
+	}
+	if s.DetectionRate() != 1 {
+		t.Fatalf("detection rate = %v, want 1", s.DetectionRate())
+	}
+	if s.AttacksByVector[core.VectorServiceBind] != 6 {
+		t.Fatalf("merged service-bind count = %d, want 6", s.AttacksByVector[core.VectorServiceBind])
+	}
+	if s.TotalDrainedJ <= 0 {
+		t.Fatal("summary drained nothing")
+	}
+}
+
+func TestDeviceSeedsDifferAndAreStable(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 1000; i++ {
+		s := DeviceSeed(7, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between device %d and %d", prev, i)
+		}
+		seen[s] = i
+		if s != DeviceSeed(7, i) {
+			t.Fatal("DeviceSeed is not pure")
+		}
+	}
+	if DeviceSeed(7, 0) == DeviceSeed(8, 0) {
+		t.Fatal("different fleet seeds produced the same device seed")
+	}
+}
+
+// The acceptance gate: the rendered aggregate must be byte-identical
+// for any worker count, because per-device seeds depend only on the
+// fleet seed and aggregation is order-stable.
+func TestAggregateByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	var golden string
+	for _, workers := range []int{1, 4, 8} {
+		fr, err := Run(context.Background(), attackSpec(9, workers, 1234))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fr.Render()
+		if golden == "" {
+			golden = got
+			continue
+		}
+		if got != golden {
+			t.Fatalf("aggregate differs between workers=1 and workers=%d:\n--- golden ---\n%s\n--- got ---\n%s",
+				workers, golden, got)
+		}
+	}
+}
+
+func TestScenarioErrorIsIsolated(t *testing.T) {
+	boom := errors.New("boom")
+	spec := attackSpec(4, 2, 9)
+	inner := spec.Scenario
+	spec.Scenario = func(i int, dev *device.Device) error {
+		if i == 2 {
+			return boom
+		}
+		return inner(i, dev)
+	}
+	fr, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Results[2].Err == nil || !errors.Is(fr.Results[2].Err, boom) {
+		t.Fatalf("device 2 err = %v, want boom", fr.Results[2].Err)
+	}
+	if fr.Summary.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", fr.Summary.Failed)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if fr.Results[i].Err != nil {
+			t.Fatalf("healthy device %d infected by failure: %v", i, fr.Results[i].Err)
+		}
+	}
+}
+
+func TestPanicIsCapturedPerDevice(t *testing.T) {
+	spec := attackSpec(3, 3, 5)
+	inner := spec.Scenario
+	spec.Scenario = func(i int, dev *device.Device) error {
+		if i == 1 {
+			panic("scripted panic")
+		}
+		return inner(i, dev)
+	}
+	fr, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fr.Results[1].Err
+	if got == nil || !strings.Contains(got.Error(), "scripted panic") {
+		t.Fatalf("device 1 err = %v, want captured panic", got)
+	}
+	if !strings.Contains(got.Error(), "fleet_test.go") {
+		t.Fatalf("panic error lost its stack: %v", got)
+	}
+	if fr.Results[0].Err != nil || fr.Results[2].Err != nil {
+		t.Fatal("panic leaked into sibling devices")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	spec := Spec{
+		Devices: 64,
+		Workers: 2,
+		Seed:    3,
+		Scenario: func(i int, dev *device.Device) error {
+			started <- struct{}{}
+			if i == 0 {
+				cancel()
+			}
+			return nil
+		},
+		Horizon: time.Hour, // long horizon: cancellation must interrupt it
+	}
+	fr, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := 0
+	for _, r := range fr.Results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no device observed the cancellation")
+	}
+	if fr.Summary.Failed != cancelled {
+		t.Fatalf("summary failed = %d, want %d", fr.Summary.Failed, cancelled)
+	}
+}
+
+func TestCollectPayload(t *testing.T) {
+	spec := attackSpec(3, 0, 11)
+	spec.Collect = func(i int, dev *device.Device) (any, error) {
+		return fmt.Sprintf("device-%d", i), nil
+	}
+	fr, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range fr.Results {
+		if r.Custom != fmt.Sprintf("device-%d", i) {
+			t.Fatalf("device %d custom = %v", i, r.Custom)
+		}
+	}
+}
+
+func TestNilScenarioIdleFleet(t *testing.T) {
+	fr, err := Run(context.Background(), Spec{Devices: 2, Seed: 1, Horizon: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range fr.Results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.SimEnd != 0 && r.SimEnd.Seconds() != 1 {
+			t.Fatalf("idle device clock = %v", r.SimEnd)
+		}
+	}
+}

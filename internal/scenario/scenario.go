@@ -45,7 +45,15 @@ func NewWorld(cfg device.Config) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
+	return Populate(dev)
+}
+
+// Populate installs the demo cast on an existing device. Fleet runners
+// use this: the device is built elsewhere (with a derived seed) and
+// only the cast and scripted behaviour come from this package.
+func Populate(dev *device.Device) (*World, error) {
 	w := &World{Dev: dev}
+	var err error
 
 	w.Message, err = dev.Packages.Install(manifest.NewBuilder(PkgMessage, "Message").
 		Category("Communication").

@@ -132,6 +132,8 @@ func (e *Engine) Every(period Duration, name string, fn func()) *Ticker {
 }
 
 // Stop halts the run loop after the currently executing event returns.
+// It affects only the run in flight: the next RunUntil/RunFor/Drain
+// call clears the flag on entry and resumes from the current instant.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step fires the single earliest pending event, advancing the clock to its
@@ -159,6 +161,7 @@ func (e *Engine) RunUntil(horizon Time) error {
 	if horizon < e.now {
 		return fmt.Errorf("sim: horizon %v before now %v", horizon, e.now)
 	}
+	e.stopped = false
 	for !e.stopped {
 		next, ok := e.peek()
 		if !ok || next.After(horizon) {
@@ -177,6 +180,7 @@ func (e *Engine) RunFor(d Duration) error { return e.RunUntil(e.now.Add(d)) }
 // called, and an error if the queue never empties within maxEvents fires
 // (a guard against runaway self-rescheduling scenarios).
 func (e *Engine) Drain(maxEvents int) error {
+	e.stopped = false
 	for i := 0; ; i++ {
 		if e.stopped {
 			return ErrStopped

@@ -139,6 +139,39 @@ func TestStopMidRun(t *testing.T) {
 	}
 }
 
+// Regression: Stop used to be sticky — once set, every later
+// RunUntil/RunFor/Drain returned ErrStopped forever. A stop must only
+// halt the run in flight; the next run call resumes.
+func TestStopIsNotSticky(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Schedule(Second, "stop", func() { e.Stop() })
+	e.Schedule(2*Second, "later", func() { fired++ })
+	if err := e.RunUntil(10 * Second); err != ErrStopped {
+		t.Fatalf("first run err = %v, want ErrStopped", err)
+	}
+	if err := e.RunUntil(10 * Second); err != nil {
+		t.Fatalf("resumed RunUntil err = %v, want nil", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (queued event must survive the stop)", fired)
+	}
+	e.Schedule(11*Second, "stop2", func() { e.Stop() })
+	e.Schedule(12*Second, "after-drain", func() { fired++ })
+	if err := e.Drain(10); err != ErrStopped {
+		t.Fatalf("drain err = %v, want ErrStopped", err)
+	}
+	if err := e.Drain(10); err != nil {
+		t.Fatalf("resumed Drain err = %v, want nil", err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor after stop cycle err = %v", err)
+	}
+}
+
 func TestDrainGuard(t *testing.T) {
 	e := NewEngine(1)
 	var reschedule func()
