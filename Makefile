@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fleet-bench clean
+.PHONY: all build test race vet fmt-check bench fleet-bench telemetry-bench clean
 
 all: build test
 
@@ -11,11 +11,20 @@ test:
 	$(GO) test ./...
 
 # The fleet runner is the only concurrent code in the repo; the rest of
-# the simulation is single-threaded by design. Race-cleanliness of
-# internal/fleet (and of the packages that drive it) is an acceptance
-# gate for every PR that touches concurrency.
+# the simulation is single-threaded by design (telemetry recorders are
+# per-device and single-goroutine, so they ride the same gate). Race-
+# cleanliness of internal/fleet (and of the packages that drive it) is
+# an acceptance gate for every PR that touches concurrency.
 race:
-	$(GO) test -race -count=1 ./internal/fleet/... ./internal/experiments/... .
+	$(GO) test -race -count=1 ./internal/fleet/... ./internal/telemetry/... ./internal/experiments/... .
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
@@ -23,6 +32,11 @@ bench:
 # Regenerate the BENCH_fleet.json scaling artifact.
 fleet-bench:
 	$(GO) run ./cmd/benchsuite -fleet 64 -workers 8
+
+# Regenerate the BENCH_telemetry.json overhead artifact (and enforce the
+# enabled <= 10% / disabled <= 1% gates).
+telemetry-bench:
+	$(GO) run ./cmd/benchsuite -telemetry
 
 clean:
 	$(GO) clean ./...

@@ -10,6 +10,8 @@
 //	benchsuite -antutu    # Figure 11 only
 //	benchsuite -energy    # energy-efficiency check only
 //	benchsuite -fleet 64 -workers 8   # fleet scaling study -> BENCH_fleet.json
+//	benchsuite -telemetry             # overhead study -> BENCH_telemetry.json
+//	benchsuite -cpuprofile cpu.pprof -memprofile mem.pprof -micro
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/accounting"
@@ -45,8 +49,41 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "fleet worker count (0 = GOMAXPROCS)")
 	fleetSeed := fs.Int64("fleet-seed", 42, "fleet seed (per-device seeds derive from it)")
 	fleetOut := fs.String("fleet-out", "BENCH_fleet.json", "fleet artifact path (empty = don't write)")
+	telem := fs.Bool("telemetry", false, "run the telemetry overhead study")
+	telemReps := fs.Int("telemetry-reps", experiments.DefaultTelemetryReps, "telemetry study repetitions")
+	telemOut := fs.String("telemetry-out", "BENCH_telemetry.json", "telemetry artifact path (empty = don't write)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite: memprofile:", err)
+			}
+		}()
+	}
+	if *telem {
+		return telemetryBench(*telemReps, *telemOut)
 	}
 	if *fleetN > 0 {
 		return fleetBench(*fleetN, *workers, *fleetSeed, *fleetOut)
@@ -166,6 +203,76 @@ func fleetBench(devices, workers int, seed int64, outPath string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// telemetryArtifact is the BENCH_telemetry.json schema: the measured
+// overhead floors plus the gate thresholds the repo commits to (enabled
+// recording within 10% of baseline, a built-but-disabled recorder
+// within 1%), so successive PRs can catch instrumentation regressions.
+type telemetryArtifact struct {
+	Reps               int     `json:"reps"`
+	BaselineMS         float64 `json:"baseline_ms"`
+	DisabledMS         float64 `json:"disabled_ms"`
+	EnabledMS          float64 `json:"enabled_ms"`
+	DisabledOverheadPc float64 `json:"disabled_overhead_pct"`
+	EnabledOverheadPc  float64 `json:"enabled_overhead_pct"`
+	DisabledGatePct    float64 `json:"disabled_gate_pct"`
+	EnabledGatePct     float64 `json:"enabled_gate_pct"`
+	DisabledGatePass   bool    `json:"disabled_gate_pass"`
+	EnabledGatePass    bool    `json:"enabled_gate_pass"`
+	EventsRecorded     uint64  `json:"events_recorded"`
+	EventsDropped      uint64  `json:"events_dropped"`
+}
+
+// Overhead gates: the enabled recorder must stay within 10% of the
+// uninstrumented baseline, and a recorder that is built but disabled
+// must be within 1% (the cost of one branch per emission site).
+const (
+	enabledGatePct  = 10.0
+	disabledGatePct = 1.0
+)
+
+// telemetryBench runs the overhead study, prints it, checks the gates
+// and records the floors in BENCH_telemetry.json.
+func telemetryBench(reps int, outPath string) error {
+	res, err := experiments.TelemetryOverheadStudy(reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+
+	art := telemetryArtifact{
+		Reps:               res.Reps,
+		BaselineMS:         res.BaselineMS,
+		DisabledMS:         res.DisabledMS,
+		EnabledMS:          res.EnabledMS,
+		DisabledOverheadPc: res.DisabledOverheadPct(),
+		EnabledOverheadPc:  res.EnabledOverheadPct(),
+		DisabledGatePct:    disabledGatePct,
+		EnabledGatePct:     enabledGatePct,
+		DisabledGatePass:   res.DisabledOverheadPct() <= disabledGatePct,
+		EnabledGatePass:    res.EnabledOverheadPct() <= enabledGatePct,
+		EventsRecorded:     res.EventsRecorded,
+		EventsDropped:      res.EventsDropped,
+	}
+	fmt.Printf("gates: disabled %.2f%% <= %.0f%% pass=%v, enabled %.2f%% <= %.0f%% pass=%v\n",
+		art.DisabledOverheadPc, disabledGatePct, art.DisabledGatePass,
+		art.EnabledOverheadPc, enabledGatePct, art.EnabledGatePass)
+	if outPath != "" {
+		blob, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if !art.DisabledGatePass || !art.EnabledGatePass {
+		return fmt.Errorf("telemetry overhead gate failed (disabled %+.2f%%, enabled %+.2f%%)",
+			art.DisabledOverheadPc, art.EnabledOverheadPc)
+	}
 	return nil
 }
 

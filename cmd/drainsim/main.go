@@ -8,6 +8,7 @@
 //	drainsim -step 10s       # finer integration step
 //	drainsim -csv            # full per-percent series as CSV
 //	drainsim -workers 5      # sweep the five configurations in parallel
+//	drainsim -trace-out t.json -metrics-out m.txt   # telemetry (serial only)
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,9 +34,27 @@ func run(args []string) error {
 	step := fs.Duration("step", 30*time.Second, "integration step")
 	csv := fs.Bool("csv", false, "emit the full per-percent series as CSV")
 	workers := fs.Int("workers", 1, "run configurations concurrently on this many workers (0 = GOMAXPROCS)")
+	trace := fs.Bool("trace", false, "print the kernel event trace to stdout (legacy text format)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
+	eventsOut := fs.String("events-out", "", "write the structured event stream as JSONL")
+	metricsOut := fs.String("metrics-out", "", "write a plain-text metrics dump")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// The shared world recorder is single-goroutine; the worker path
+	// builds its devices off the serial funnel, so telemetry flags only
+	// make sense for the serial sweep.
+	var rec *telemetry.Recorder
+	if *trace || *traceOut != "" || *eventsOut != "" || *metricsOut != "" {
+		if *workers != 1 {
+			return fmt.Errorf("telemetry flags require -workers 1 (the parallel sweep runs one recorder per device internally)")
+		}
+		rec = telemetry.New(telemetry.Options{})
+		scenario.SetWorldTelemetry(rec)
+		defer scenario.SetWorldTelemetry(nil)
+	}
+
 	var res *experiments.Fig3Result
 	var err error
 	if *workers == 1 {
@@ -43,6 +64,16 @@ func run(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if *trace {
+			if err := telemetry.WriteText(os.Stdout, rec.Events()); err != nil {
+				return err
+			}
+		}
+		if err := telemetry.ExportFiles(rec, *traceOut, *eventsOut, *metricsOut); err != nil {
+			return err
+		}
 	}
 	if *csv {
 		fmt.Println("config,percent,hours")

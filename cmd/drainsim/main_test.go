@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestSummary(t *testing.T) {
 	if err := run([]string{"-step", "15m"}); err != nil {
@@ -29,5 +34,26 @@ func TestBadStep(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestTelemetryFlagsRequireSerialSweep(t *testing.T) {
+	err := run([]string{"-workers", "2", "-trace-out", filepath.Join(t.TempDir(), "t.json")})
+	if err == nil || !strings.Contains(err.Error(), "-workers 1") {
+		t.Fatalf("run = %v, want telemetry/workers conflict error", err)
+	}
+}
+
+func TestTelemetryExports(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.txt")
+	if err := run([]string{"-step", "15m", "-trace-out", trace, "-metrics-out", metrics}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{trace, metrics} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("export %s missing or empty (err=%v)", p, err)
+		}
 	}
 }

@@ -6,6 +6,9 @@
 //	eandroid-sim -list
 //	eandroid-sim -exp fig9a
 //	eandroid-sim -exp all
+//	eandroid-sim -exp fig9a -trace                      # legacy text trace on stdout
+//	eandroid-sim -exp fig9a -trace-out trace.json       # open in Perfetto
+//	eandroid-sim -exp fig9a -events-out events.jsonl -metrics-out metrics.txt
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +32,22 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("eandroid-sim", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list available experiments")
 	exp := fs.String("exp", "", "experiment id to run (or 'all')")
+	trace := fs.Bool("trace", false, "print the kernel event trace to stdout (legacy text format)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
+	eventsOut := fs.String("events-out", "", "write the structured event stream as JSONL")
+	metricsOut := fs.String("metrics-out", "", "write a plain-text metrics dump")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Telemetry attaches to every serially-built experiment world; the
+	// recorder routes the old stdout -trace callback and the structured
+	// exports through one instrumentation path.
+	var rec *telemetry.Recorder
+	if *trace || *traceOut != "" || *eventsOut != "" || *metricsOut != "" {
+		rec = telemetry.New(telemetry.Options{})
+		scenario.SetWorldTelemetry(rec)
+		defer scenario.SetWorldTelemetry(nil)
 	}
 
 	if *list || *exp == "" {
@@ -50,7 +69,7 @@ func run(args []string) error {
 			}
 			fmt.Println(r.Render())
 		}
-		return nil
+		return export(rec, *trace, *traceOut, *eventsOut, *metricsOut)
 	}
 
 	spec, err := experiments.ByID(*exp)
@@ -62,5 +81,18 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Println(r.Render())
-	return nil
+	return export(rec, *trace, *traceOut, *eventsOut, *metricsOut)
+}
+
+// export flushes the recorder to the requested sinks after a run.
+func export(rec *telemetry.Recorder, trace bool, traceOut, eventsOut, metricsOut string) error {
+	if rec == nil {
+		return nil
+	}
+	if trace {
+		if err := telemetry.WriteText(os.Stdout, rec.Events()); err != nil {
+			return err
+		}
+	}
+	return telemetry.ExportFiles(rec, traceOut, eventsOut, metricsOut)
 }

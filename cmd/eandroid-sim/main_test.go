@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestListFlag(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -29,5 +34,35 @@ func TestUnknownExperiment(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestTelemetryExports(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	events := filepath.Join(dir, "events.jsonl")
+	metrics := filepath.Join(dir, "metrics.txt")
+	err := run([]string{"-exp", "fig9a",
+		"-trace-out", trace, "-events-out", events, "-metrics-out", metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &tf); err != nil {
+		t.Fatalf("trace.json invalid: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace.json empty")
+	}
+	for _, p := range []string{events, metrics} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("export %s missing or empty (err=%v)", p, err)
+		}
 	}
 }

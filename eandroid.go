@@ -32,6 +32,7 @@ import (
 	"repro/internal/manifest"
 	"repro/internal/power"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // Core device types.
@@ -197,6 +198,31 @@ func RunFleet(ctx context.Context, spec FleetSpec) (*FleetResult, error) {
 func FleetDeviceSeed(fleetSeed int64, i int) int64 {
 	return fleet.DeviceSeed(fleetSeed, i)
 }
+
+// Telemetry API: structured event tracing and metrics. Attach a
+// recorder through Config.Telemetry (one per device — recorders are
+// single-goroutine, like the engine they observe), or set
+// FleetSpec.Telemetry to give every fleet device its own and read the
+// order-stable merge from FleetResult.Metrics.
+type (
+	// TelemetryRecorder is the typed event tracer + metrics registry.
+	TelemetryRecorder = telemetry.Recorder
+	// TelemetryOptions configures a recorder (ring capacity, gating).
+	TelemetryOptions = telemetry.Options
+	// TelemetryEvent is one structured record.
+	TelemetryEvent = telemetry.Event
+	// TelemetryMetrics is a live instrument registry.
+	TelemetryMetrics = telemetry.Metrics
+	// TelemetrySnapshot is an order-stable freeze of a registry.
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+// NewTelemetry builds a recorder for Config.Telemetry.
+func NewTelemetry(opts TelemetryOptions) *TelemetryRecorder { return telemetry.New(opts) }
+
+// WriteTrace exports recorded events as Chrome trace-event JSON
+// (loadable in Perfetto or chrome://tracing).
+var WriteTrace = telemetry.WriteTrace
 
 // Service-facing aliases used by advanced callers.
 type (

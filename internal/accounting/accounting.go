@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/hw"
+	"repro/internal/telemetry"
 )
 
 // Policy selects a screen-attribution rule.
@@ -64,6 +65,10 @@ type Accountant struct {
 	// BatteryStats reports alongside energy.
 	fgTime       map[app.UID]time.Duration
 	screenOnTime time.Duration
+
+	// tel receives per-interval attribution events and feeds the
+	// per-UID energy distributions; nil costs one branch per interval.
+	tel *telemetry.Recorder
 }
 
 // New returns an accountant for the given policy.
@@ -82,6 +87,9 @@ func New(policy Policy) (*Accountant, error) {
 // Policy reports the attribution policy in force.
 func (a *Accountant) Policy() Policy { return a.policy }
 
+// SetTelemetry wires a telemetry recorder (nil detaches it).
+func (a *Accountant) SetTelemetry(rec *telemetry.Recorder) { a.tel = rec }
+
 // SetForeground records the current foreground app (drive this from the
 // activity manager's ForegroundChanged hook).
 func (a *Accountant) SetForeground(uid app.UID) { a.foreground = uid }
@@ -91,6 +99,9 @@ func (a *Accountant) Foreground() app.UID { return a.foreground }
 
 // Accrue implements hw.Sink.
 func (a *Accountant) Accrue(iv hw.Interval) {
+	if a.tel.Enabled() {
+		a.observeInterval(iv)
+	}
 	if a.foreground != app.UIDNone {
 		a.fgTime[a.foreground] += iv.Duration()
 	}
@@ -123,6 +134,30 @@ func (a *Accountant) Accrue(iv hw.Interval) {
 			a.own[a.foreground] = dst
 		}
 		dst[hw.Screen] += iv.ScreenJ
+	}
+}
+
+// observeInterval records one attribution event per app charged in the
+// interval, iterating in sorted UID order so the event stream (and the
+// per-UID energy distributions it feeds) is deterministic.
+func (a *Accountant) observeInterval(iv hw.Interval) {
+	uids := make([]app.UID, 0, len(iv.PerUID))
+	for uid := range iv.PerUID {
+		uids = append(uids, uid)
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	for _, uid := range uids {
+		a.tel.RecordAttribution(iv.To, uid, iv.PerUID[uid].Total())
+	}
+	if iv.ScreenJ > 0 {
+		screenUID := app.UIDScreen
+		if a.policy == PowerTutor && a.foreground != app.UIDNone {
+			screenUID = a.foreground
+		}
+		a.tel.RecordAttribution(iv.To, screenUID, iv.ScreenJ)
+	}
+	if iv.SystemJ > 0 {
+		a.tel.RecordAttribution(iv.To, app.UIDSystem, iv.SystemJ)
 	}
 }
 

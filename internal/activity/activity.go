@@ -19,6 +19,7 @@ import (
 	"repro/internal/intent"
 	"repro/internal/manifest"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // State is an activity lifecycle state.
@@ -170,6 +171,10 @@ type Manager struct {
 	// operation (start from launcher, home, back, reorder) so the power
 	// manager can reset the screen timeout.
 	onUserInteraction func()
+
+	// tel receives lifecycle transitions; nil costs one branch per
+	// transition.
+	tel *telemetry.Recorder
 }
 
 type pendingResolution struct {
@@ -217,6 +222,9 @@ func NewManager(engine *sim.Engine, pm *app.PackageManager, res *intent.Resolver
 
 // AddHooks registers an event consumer.
 func (m *Manager) AddHooks(h Hooks) { m.hooks = append(m.hooks, h) }
+
+// SetTelemetry wires a telemetry recorder (nil detaches it).
+func (m *Manager) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
 
 // SetUserInteractionFunc wires user-driven operations to fn (typically
 // the power manager's UserActivity).
@@ -527,6 +535,7 @@ func (m *Manager) setState(a *Activity, s State) {
 	}
 	old := a.state
 	a.state = s
+	m.tel.RecordLifecycle(m.engine.Now(), a.app.UID, a.FullName(), old.String(), s.String())
 	m.applyDemand(a)
 	for _, h := range m.hooks {
 		h.Lifecycle(m.engine.Now(), a, old, s)

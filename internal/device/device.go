@@ -26,6 +26,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/surfaceflinger"
+	"repro/internal/telemetry"
 )
 
 // Config controls device construction. The zero value is usable: it
@@ -52,6 +53,11 @@ type Config struct {
 	CollateralPolicy core.ChargePolicy
 	// ScreenTimeout overrides the 30 s screen auto-off timeout.
 	ScreenTimeout time.Duration
+	// Telemetry, when non-nil, is instrumented into the kernel, meter,
+	// activity manager and accountant. A recorder is single-goroutine
+	// like the device itself: give every device its own (fleet runs
+	// build one per device from Spec.Telemetry).
+	Telemetry *telemetry.Recorder
 }
 
 // Device is a fully wired simulated smartphone.
@@ -77,6 +83,9 @@ type Device struct {
 	Android *accounting.Accountant
 	// EAndroid is the collateral monitor, nil unless Config.EAndroid.
 	EAndroid *core.Monitor
+	// Telemetry is the recorder from Config.Telemetry, nil when the
+	// device runs uninstrumented.
+	Telemetry *telemetry.Recorder
 }
 
 // foregroundAdapter feeds foreground changes into the accountant,
@@ -176,6 +185,13 @@ func New(cfg Config) (*Device, error) {
 	am.AddHooks(&foregroundAdapter{meter: meter, acc: acc})
 	acc.SetForeground(am.Foreground())
 
+	if cfg.Telemetry != nil {
+		telemetry.InstrumentEngine(engine, cfg.Telemetry)
+		meter.SetTelemetry(cfg.Telemetry)
+		am.SetTelemetry(cfg.Telemetry)
+		acc.SetTelemetry(cfg.Telemetry)
+	}
+
 	dev := &Device{
 		Engine:     engine,
 		Packages:   pm,
@@ -192,6 +208,7 @@ func New(cfg Config) (*Device, error) {
 		Meter:      meter,
 		Battery:    battery,
 		Android:    acc,
+		Telemetry:  cfg.Telemetry,
 	}
 
 	if cfg.EAndroid {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Spec describes one fleet run: N devices built from a common template,
@@ -49,6 +50,12 @@ type Spec struct {
 	// Collect, when non-nil, extracts a scenario-specific payload from
 	// device i after the run; it lands in Result.Custom.
 	Collect func(i int, dev *device.Device) (any, error)
+	// Telemetry, when non-nil, builds one recorder per device with these
+	// options (a recorder is single-goroutine, like the engine it
+	// observes). Each device's metrics snapshot lands in Result.Metrics
+	// and the index-order merge in FleetResult.Metrics, which is
+	// byte-identical across worker counts.
+	Telemetry *telemetry.Options
 }
 
 // Result is the harvest of one device's run. The standard energy and
@@ -89,6 +96,9 @@ type Result struct {
 	Labels map[app.UID]string
 	// Custom is Spec.Collect's payload, if any.
 	Custom any
+	// Metrics is the device's telemetry snapshot; nil unless
+	// Spec.Telemetry was set and the device succeeded.
+	Metrics *telemetry.Snapshot
 }
 
 // FleetResult is a completed fleet run: per-device results sorted by
@@ -98,6 +108,41 @@ type FleetResult struct {
 	Workers int
 	Results []Result
 	Summary Summary
+	// Metrics merges the per-device telemetry snapshots in device-index
+	// order; nil unless Spec.Telemetry was set. Byte-identical across
+	// worker counts (unlike WorkerStats, which measures the pool
+	// itself).
+	Metrics *telemetry.Snapshot
+	// WorkerStats reports per-worker utilization of this run. It is
+	// wall-clock measured and scheduling-dependent, hence deliberately
+	// excluded from Metrics and Render, which are determinism-gated.
+	WorkerStats []WorkerStat
+}
+
+// WorkerStat is one pool worker's share of a fleet run.
+type WorkerStat struct {
+	// Worker is the worker's index in the pool.
+	Worker int
+	// Devices is how many devices the worker ran.
+	Devices int
+	// Busy is wall-clock time spent running devices.
+	Busy time.Duration
+	// Utilization is Busy over the pool's total wall time, in [0, 1].
+	Utilization float64
+}
+
+// WorkerUtilization renders the worker stats as a fleet-level telemetry
+// snapshot (gauges fleet.worker<i>.devices / .busy_ms / .utilization).
+// Keep it out of determinism comparisons: the values are wall-clock.
+func (fr *FleetResult) WorkerUtilization() *telemetry.Snapshot {
+	m := telemetry.NewMetrics()
+	for _, ws := range fr.WorkerStats {
+		prefix := fmt.Sprintf("fleet.worker%d.", ws.Worker)
+		m.Gauge(prefix + "devices").Set(float64(ws.Devices))
+		m.Gauge(prefix + "busy_ms").Set(float64(ws.Busy.Microseconds()) / 1000)
+		m.Gauge(prefix + "utilization").Set(ws.Utilization)
+	}
+	return m.Snapshot()
 }
 
 // panicError preserves a captured scenario panic, including its stack,
@@ -155,16 +200,22 @@ func Run(ctx context.Context, spec Spec) (*FleetResult, error) {
 	}
 
 	results := make([]Result, spec.Devices)
+	stats := make([]WorkerStat, workers)
+	poolStart := time.Now()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			stats[w].Worker = w
 			for i := range jobs {
+				start := time.Now()
 				results[i] = runDevice(ctx, spec, i)
+				stats[w].Busy += time.Since(start)
+				stats[w].Devices++
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for i := 0; i < spec.Devices; i++ {
@@ -180,16 +231,34 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
+	if wall := time.Since(poolStart); wall > 0 {
+		for w := range stats {
+			stats[w].Utilization = float64(stats[w].Busy) / float64(wall)
+		}
+	}
 
 	// Workers write only their own index, so the slice is already
 	// index-ordered; the sort documents (and enforces) the contract.
 	sort.Slice(results, func(a, b int) bool { return results[a].Index < results[b].Index })
-	return &FleetResult{
-		Seed:    spec.Seed,
-		Workers: workers,
-		Results: results,
-		Summary: summarize(results),
-	}, nil
+	fr := &FleetResult{
+		Seed:        spec.Seed,
+		Workers:     workers,
+		Results:     results,
+		Summary:     summarize(results),
+		WorkerStats: stats,
+	}
+	if spec.Telemetry != nil {
+		snaps := make([]*telemetry.Snapshot, len(results))
+		for i, r := range results {
+			snaps[i] = r.Metrics // nil (skipped) for failed devices
+		}
+		merged, err := telemetry.MergeSnapshots(snaps)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: merge metrics: %w", err)
+		}
+		fr.Metrics = merged
+	}
+	return fr, nil
 }
 
 // runDevice builds, scripts, runs and harvests one device, converting
@@ -209,6 +278,12 @@ func runDevice(ctx context.Context, spec Spec, i int) (res Result) {
 
 	cfg := spec.Config
 	cfg.Seed = res.Seed
+	if spec.Telemetry != nil {
+		// One recorder per device: recorders are single-goroutine, and
+		// per-device registries are what make the merged snapshot
+		// independent of worker scheduling.
+		cfg.Telemetry = telemetry.New(*spec.Telemetry)
+	}
 	dev, err := device.New(cfg)
 	if err != nil {
 		res.Err = fmt.Errorf("fleet: device %d: %w", i, err)
@@ -225,6 +300,9 @@ func runDevice(ctx context.Context, spec Spec, i int) (res Result) {
 		return res
 	}
 	harvest(&res, dev)
+	if dev.Telemetry != nil {
+		res.Metrics = dev.Telemetry.Metrics().Snapshot()
+	}
 	if spec.Collect != nil {
 		custom, err := spec.Collect(i, dev)
 		if err != nil {

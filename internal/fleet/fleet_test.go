@@ -11,6 +11,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // attackSpec is the canonical test fleet: every device installs the
@@ -238,5 +240,128 @@ func TestNilScenarioIdleFleet(t *testing.T) {
 		if r.SimEnd != 0 && r.SimEnd.Seconds() != 1 {
 			t.Fatalf("idle device clock = %v", r.SimEnd)
 		}
+	}
+}
+
+// telemetrySpec is attackSpec plus one recorder per device.
+func telemetrySpec(devices, workers int, seed int64) Spec {
+	spec := attackSpec(devices, workers, seed)
+	spec.Telemetry = &telemetry.Options{}
+	return spec
+}
+
+// The telemetry acceptance gate: the merged metric snapshot must be
+// byte-identical for any worker count, because each device gets its own
+// recorder and the merge runs in device-index order.
+func TestMetricsByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	var golden string
+	for _, workers := range []int{1, 8} {
+		fr, err := Run(context.Background(), telemetrySpec(8, workers, 77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Metrics == nil {
+			t.Fatal("fleet metrics snapshot missing")
+		}
+		for i, r := range fr.Results {
+			if r.Metrics == nil {
+				t.Fatalf("device %d metrics snapshot missing", i)
+			}
+		}
+		got := fr.Metrics.Text()
+		if got == "" {
+			t.Fatal("fleet metrics snapshot empty")
+		}
+		if !strings.Contains(got, "sim.events_fired") {
+			t.Fatalf("merged snapshot missing kernel counter:\n%s", got)
+		}
+		if golden == "" {
+			golden = got
+			continue
+		}
+		if got != golden {
+			t.Fatalf("metrics differ between workers=1 and workers=%d:\n--- golden ---\n%s\n--- got ---\n%s",
+				workers, golden, got)
+		}
+	}
+}
+
+func TestNoTelemetryMeansNoSnapshots(t *testing.T) {
+	fr, err := Run(context.Background(), attackSpec(2, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Metrics != nil {
+		t.Fatal("fleet built a metrics snapshot without Spec.Telemetry")
+	}
+	for i, r := range fr.Results {
+		if r.Metrics != nil {
+			t.Fatalf("device %d has a metrics snapshot without Spec.Telemetry", i)
+		}
+	}
+}
+
+// A panicking tracer must follow the same policy as a panicking
+// scenario: the engine contains it, the run surfaces it, and the fleet
+// marks only that device failed.
+func TestTracerPanicMarksDeviceFailed(t *testing.T) {
+	spec := telemetrySpec(3, 3, 13)
+	inner := spec.Scenario
+	spec.Scenario = func(i int, dev *device.Device) error {
+		if err := inner(i, dev); err != nil {
+			return err
+		}
+		if i == 1 {
+			dev.Engine.Trace(func(sim.Time, string) { panic("tracer boom") })
+			// The attack scenario mutates state synchronously, so give
+			// the tracer a kernel event to fire on inside the horizon.
+			dev.Engine.After(time.Second, "bait", func() {})
+		}
+		return nil
+	}
+	fr, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tpe *sim.TracerPanicError
+	if fr.Results[1].Err == nil || !errors.As(fr.Results[1].Err, &tpe) {
+		t.Fatalf("device 1 err = %v, want *sim.TracerPanicError", fr.Results[1].Err)
+	}
+	if fr.Summary.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", fr.Summary.Failed)
+	}
+	if fr.Results[0].Err != nil || fr.Results[2].Err != nil {
+		t.Fatal("tracer panic leaked into sibling devices")
+	}
+	// The merge still covers the healthy devices.
+	if fr.Metrics == nil || len(fr.Metrics.Counters) == 0 {
+		t.Fatal("healthy devices' metrics lost after a sibling tracer panic")
+	}
+}
+
+func TestWorkerStatsCoverFleet(t *testing.T) {
+	fr, err := Run(context.Background(), telemetrySpec(6, 3, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.WorkerStats) != 3 {
+		t.Fatalf("worker stats = %d entries, want 3", len(fr.WorkerStats))
+	}
+	devices := 0
+	for i, ws := range fr.WorkerStats {
+		if ws.Worker != i {
+			t.Fatalf("stats[%d].Worker = %d", i, ws.Worker)
+		}
+		if ws.Utilization < 0 || ws.Utilization > 1 {
+			t.Fatalf("worker %d utilization = %v, want [0,1]", i, ws.Utilization)
+		}
+		devices += ws.Devices
+	}
+	if devices != 6 {
+		t.Fatalf("worker device counts sum to %d, want 6", devices)
+	}
+	snap := fr.WorkerUtilization()
+	if snap == nil || len(snap.Gauges) != 3*3 {
+		t.Fatalf("utilization snapshot = %+v, want 9 gauges", snap)
 	}
 }

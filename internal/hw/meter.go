@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Usage is per-component energy in joules attributed to one app.
@@ -96,6 +97,10 @@ type Meter struct {
 	// recorded instant, still billed to that app (tail energy). Accrual
 	// splits intervals at tail expiries, so tail energy stays exact.
 	wifiTails map[app.UID]sim.Time
+
+	// tel receives power-state changes, battery updates and per-component
+	// power distributions; nil (the default) costs one branch per change.
+	tel *telemetry.Recorder
 }
 
 // NewMeter builds a meter over the given clock, profile and battery.
@@ -125,6 +130,16 @@ func NewMeter(now func() sim.Time, profile Profile, battery *Battery) (*Meter, e
 
 // AddSink registers a consumer of integrated intervals.
 func (m *Meter) AddSink(s Sink) { m.sinks = append(m.sinks, s) }
+
+// SetTelemetry wires a telemetry recorder (nil detaches it).
+func (m *Meter) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
+
+func b01(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
 
 // Profile returns the active power profile.
 func (m *Meter) Profile() Profile { return m.profile }
@@ -157,6 +172,7 @@ func (m *Meter) SetSuspended(v bool) {
 		return
 	}
 	m.accrue()
+	m.tel.RecordPowerState(m.now(), app.UIDNone, "suspend", b01(m.suspended), b01(v))
 	m.suspended = v
 	if v {
 		for uid := range m.wifiTails {
@@ -171,6 +187,7 @@ func (m *Meter) SetScreen(on bool) {
 		return
 	}
 	m.accrue()
+	m.tel.RecordPowerState(m.now(), app.UIDNone, "screen", b01(m.screenOn), b01(on))
 	m.screenOn = on
 	if !on {
 		m.screenDim = false
@@ -184,6 +201,7 @@ func (m *Meter) SetScreenDim(dim bool) {
 		return
 	}
 	m.accrue()
+	m.tel.RecordPowerState(m.now(), app.UIDNone, "screen_dim", b01(m.screenDim), b01(dim))
 	m.screenDim = dim
 }
 
@@ -202,6 +220,7 @@ func (m *Meter) SetBrightness(level int) {
 		return
 	}
 	m.accrue()
+	m.tel.RecordPowerState(m.now(), app.UIDNone, "brightness", float64(m.brightness), float64(level))
 	m.brightness = level
 }
 
@@ -218,6 +237,7 @@ func (m *Meter) SetCPUUtil(uid app.UID, util float64) {
 		return
 	}
 	m.accrue()
+	m.tel.RecordPowerState(m.now(), uid, "cpu", m.cpuUtil[uid], util)
 	if util == 0 {
 		delete(m.cpuUtil, uid)
 	} else {
@@ -237,6 +257,7 @@ func (m *Meter) Hold(c Component, uid app.UID) error {
 		m.holds[c] = make(map[app.UID]int)
 	}
 	m.holds[c][uid]++
+	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(m.holds[c][uid]-1), float64(m.holds[c][uid]))
 	if c == WiFi {
 		delete(m.wifiTails, uid)
 	}
@@ -255,6 +276,7 @@ func (m *Meter) Release(c Component, uid app.UID) error {
 	}
 	m.accrue()
 	m.holds[c][uid]--
+	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(m.holds[c][uid]+1), float64(m.holds[c][uid]))
 	if m.holds[c][uid] == 0 {
 		delete(m.holds[c], uid)
 		if c == WiFi && m.profile.WiFiTail > 0 && m.profile.WiFiLow > 0 {
@@ -394,8 +416,35 @@ func (m *Meter) accrueSegment(t sim.Time) {
 		panic(err) // unreachable: total is a sum of non-negative terms
 	}
 
+	if m.tel.Enabled() {
+		m.observeSegment(iv, uids, secs, total)
+	}
+
 	for _, s := range m.sinks {
 		s.Accrue(iv)
+	}
+}
+
+// observeSegment feeds telemetry for one accrued segment: the battery
+// update event and the per-component mean-power distributions. Summation
+// follows the sorted uid slice, so every float result is order-stable
+// and metric snapshots stay byte-identical across runs.
+func (m *Meter) observeSegment(iv Interval, uids []app.UID, secs, totalJ float64) {
+	m.tel.RecordBattery(iv.To, totalJ, m.battery.Percent())
+	for _, c := range Components() {
+		var j float64
+		for _, uid := range uids {
+			j += iv.PerUID[uid][c]
+		}
+		if c == Screen {
+			j += iv.ScreenJ
+		}
+		if j > 0 {
+			m.tel.ObserveComponentMW(c.String(), j/secs*1000)
+		}
+	}
+	if iv.SystemJ > 0 {
+		m.tel.ObserveComponentMW("system", iv.SystemJ/secs*1000)
 	}
 }
 

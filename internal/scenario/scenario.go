@@ -18,6 +18,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/surfaceflinger"
+	"repro/internal/telemetry"
 )
 
 // Package names for the demo cast.
@@ -39,8 +40,23 @@ type World struct {
 	Malware  *app.App
 }
 
+// worldTelemetry, when set, is instrumented into every world NewWorld
+// builds. It exists for the CLIs' -trace/-trace-out/-metrics-out flags:
+// NewWorld is the serial construction funnel every registry experiment
+// goes through, while fleet runners build devices themselves (and use
+// Populate), so a single shared recorder is never touched from two
+// goroutines.
+var worldTelemetry *telemetry.Recorder
+
+// SetWorldTelemetry installs rec on every subsequently built world (nil
+// detaches). A config that already carries its own recorder wins.
+func SetWorldTelemetry(rec *telemetry.Recorder) { worldTelemetry = rec }
+
 // NewWorld builds a device from cfg and installs the demo cast.
 func NewWorld(cfg device.Config) (*World, error) {
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = worldTelemetry
+	}
 	dev, err := device.New(cfg)
 	if err != nil {
 		return nil, err

@@ -5,11 +5,31 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 )
 
 // ErrStopped is returned by Run variants when the engine was halted by a
 // call to Stop before the requested horizon was reached.
 var ErrStopped = errors.New("sim: engine stopped")
+
+// TracerPanicError reports a trace callback that panicked. The engine
+// recovers the panic (a diagnostic hook must never corrupt a run the
+// way an unwinding panic through event dispatch would), halts the run,
+// and surfaces this from the Run variant in flight — the same policy
+// the fleet runner applies to scenario panics: the device is marked
+// failed, the rest of the fleet is untouched.
+type TracerPanicError struct {
+	// EventName is the kernel event being traced when the panic hit.
+	EventName string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *TracerPanicError) Error() string {
+	return fmt.Sprintf("sim: tracer panicked on event %q: %v\n%s", e.EventName, e.Value, e.Stack)
+}
 
 // Event is a scheduled callback. Events fire in timestamp order; ties are
 // broken by scheduling order (FIFO), which keeps scenarios deterministic.
@@ -76,9 +96,34 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 
-	// tracers receive every fired event; used by tests and the CLI's
-	// -trace flag.
-	tracers []func(t Time, name string)
+	// tracers receive every fired event; used by tests, the CLIs'
+	// -trace flags and the telemetry recorder.
+	tracers []*Tracer
+	// traceErr holds a recovered tracer panic until the run loop in
+	// flight surfaces it.
+	traceErr *TracerPanicError
+}
+
+// Tracer is a registered trace callback. Close unregisters it.
+type Tracer struct {
+	engine *Engine
+	fn     func(t Time, name string)
+}
+
+// Close unregisters the tracer; later events no longer reach its
+// callback. Closing twice (or closing a nil tracer) is a no-op.
+func (tr *Tracer) Close() {
+	if tr == nil || tr.engine == nil {
+		return
+	}
+	e := tr.engine
+	tr.engine = nil
+	for i, t := range e.tracers {
+		if t == tr {
+			e.tracers = append(e.tracers[:i], e.tracers[i+1:]...)
+			return
+		}
+	}
 }
 
 // NewEngine returns an engine whose clock reads T+0 and whose random
@@ -93,10 +138,20 @@ func (e *Engine) Now() Time { return e.now }
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Trace registers fn to be called for every event that fires.
-func (e *Engine) Trace(fn func(t Time, name string)) {
-	e.tracers = append(e.tracers, fn)
+// Trace registers fn to be called for every event that fires and
+// returns a handle; Close the handle to unregister. A panicking tracer
+// does not unwind through event dispatch: the engine recovers it, halts
+// the run, and the Run variant in flight returns a *TracerPanicError.
+func (e *Engine) Trace(fn func(t Time, name string)) *Tracer {
+	tr := &Tracer{engine: e, fn: fn}
+	e.tracers = append(e.tracers, tr)
+	return tr
 }
+
+// QueueLen reports the number of queued events, including cancelled
+// ones not yet compacted away. It is O(1), unlike Pending, so tracing
+// hot paths can sample it on every event.
+func (e *Engine) QueueLen() int { return len(e.queue) }
 
 // Schedule queues fn to run at instant at. Scheduling in the past (before
 // Now) panics: it always indicates a scenario bug, and silently clamping
@@ -137,7 +192,10 @@ func (e *Engine) Every(period Duration, name string, fn func()) *Ticker {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step fires the single earliest pending event, advancing the clock to its
-// timestamp. It reports false when no events remain.
+// timestamp. It reports false when no events remain. If a tracer panics,
+// the event's callback is skipped, the engine stops, and the error is
+// surfaced by the Run variant in flight (or by TraceErr for manual
+// steppers).
 func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
@@ -145,13 +203,53 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.at
-		for _, tr := range e.tracers {
-			tr(e.now, ev.name)
+		if len(e.tracers) > 0 && !e.fireTracers(ev.name) {
+			return true
 		}
 		ev.fn()
 		return true
 	}
 	return false
+}
+
+// fireTracers invokes every tracer under a recover guard, reporting
+// whether all of them returned normally. Iterating over a snapshot keeps
+// dispatch well-defined when a callback closes its own (or another)
+// tracer mid-event.
+func (e *Engine) fireTracers(name string) (ok bool) {
+	tracers := e.tracers
+	for _, tr := range tracers {
+		if tr.engine == nil { // closed mid-dispatch
+			continue
+		}
+		if !e.fireTracer(tr, name) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) fireTracer(tr *Tracer, name string) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.traceErr = &TracerPanicError{EventName: name, Value: r, Stack: debug.Stack()}
+			e.stopped = true
+			ok = false
+		}
+	}()
+	tr.fn(e.now, name)
+	return true
+}
+
+// TraceErr reports (and clears) a pending tracer panic. Run variants
+// surface this automatically; only manual Step loops need it.
+func (e *Engine) TraceErr() error {
+	if e.traceErr == nil {
+		return nil // typed nil in an error interface would read as non-nil
+	}
+	err := e.traceErr
+	e.traceErr = nil
+	return err
 }
 
 // RunUntil fires events until the clock would pass horizon, then advances
@@ -170,6 +268,9 @@ func (e *Engine) RunUntil(horizon Time) error {
 		}
 		e.Step()
 	}
+	if err := e.TraceErr(); err != nil {
+		return err
+	}
 	return ErrStopped
 }
 
@@ -183,6 +284,9 @@ func (e *Engine) Drain(maxEvents int) error {
 	e.stopped = false
 	for i := 0; ; i++ {
 		if e.stopped {
+			if err := e.TraceErr(); err != nil {
+				return err
+			}
 			return ErrStopped
 		}
 		if i >= maxEvents {

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTraceReceivesEvents(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.Trace(func(at Time, name string) { got = append(got, name) })
+	e.Schedule(Second, "a", func() {})
+	e.Schedule(2*Second, "b", func() {})
+	if err := e.Drain(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("trace = %v, want [a b]", got)
+	}
+}
+
+func TestTracerCloseUnregisters(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	tr := e.Trace(func(at Time, name string) { got = append(got, name) })
+	e.Schedule(Second, "a", func() {})
+	e.Schedule(2*Second, "b", func() {})
+	if !e.Step() {
+		t.Fatal("no first event")
+	}
+	tr.Close()
+	tr.Close() // idempotent
+	(*Tracer)(nil).Close()
+	if !e.Step() {
+		t.Fatal("no second event")
+	}
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("trace after Close = %v, want [a]", got)
+	}
+}
+
+func TestMultipleTracersAllFire(t *testing.T) {
+	e := NewEngine(1)
+	n1, n2 := 0, 0
+	e.Trace(func(Time, string) { n1++ })
+	e.Trace(func(Time, string) { n2++ })
+	e.Schedule(Second, "x", func() {})
+	if err := e.Drain(10); err != nil {
+		t.Fatal(err)
+	}
+	if n1 != 1 || n2 != 1 {
+		t.Fatalf("tracer counts = %d, %d, want 1, 1", n1, n2)
+	}
+}
+
+func TestTracerCloseDuringDispatch(t *testing.T) {
+	e := NewEngine(1)
+	var second *Tracer
+	first := 0
+	e.Trace(func(Time, string) {
+		first++
+		second.Close()
+	})
+	calls := 0
+	second = e.Trace(func(Time, string) { calls++ })
+	e.Schedule(Second, "x", func() {})
+	e.Schedule(2*Second, "y", func() {})
+	if err := e.Drain(10); err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Fatalf("surviving tracer fired %d times, want 2", first)
+	}
+	if calls != 0 {
+		t.Fatalf("closed tracer fired %d times, want 0", calls)
+	}
+}
+
+func TestTracerPanicSurfacesFromRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	e.Trace(func(Time, string) { panic("tracer boom") })
+	fired := false
+	e.Schedule(Second, "victim", func() { fired = true })
+	err := e.RunUntil(10 * Second)
+	var tpe *TracerPanicError
+	if !errors.As(err, &tpe) {
+		t.Fatalf("RunUntil = %v, want *TracerPanicError", err)
+	}
+	if tpe.EventName != "victim" || tpe.Value != "tracer boom" {
+		t.Fatalf("error = %+v, want event victim / value boom", tpe)
+	}
+	if len(tpe.Stack) == 0 || !strings.Contains(tpe.Error(), "victim") {
+		t.Fatalf("error missing stack or event name: %v", tpe)
+	}
+	if fired {
+		t.Fatal("event callback ran despite tracer panic")
+	}
+	// The panic is consumed by the run that reported it: a later run
+	// proceeds normally once the faulty tracer is gone.
+	if err := e.TraceErr(); err != nil {
+		t.Fatalf("TraceErr after report = %v, want nil", err)
+	}
+}
+
+func TestTracerPanicSurfacesFromDrain(t *testing.T) {
+	e := NewEngine(1)
+	e.Trace(func(Time, string) { panic(42) })
+	e.Schedule(Second, "x", func() {})
+	err := e.Drain(10)
+	var tpe *TracerPanicError
+	if !errors.As(err, &tpe) {
+		t.Fatalf("Drain = %v, want *TracerPanicError", err)
+	}
+	if tpe.Value != 42 {
+		t.Fatalf("panic value = %v, want 42", tpe.Value)
+	}
+}
+
+func TestTraceErrNilWithoutPanic(t *testing.T) {
+	e := NewEngine(1)
+	// Guard against the typed-nil-in-interface trap.
+	if err := e.TraceErr(); err != nil {
+		t.Fatalf("TraceErr = %v, want nil", err)
+	}
+}
+
+func TestTraceErrManualStep(t *testing.T) {
+	e := NewEngine(1)
+	e.Trace(func(Time, string) { panic("boom") })
+	e.Schedule(Second, "x", func() {})
+	if !e.Step() {
+		t.Fatal("Step found no event")
+	}
+	if err := e.TraceErr(); err == nil {
+		t.Fatal("TraceErr = nil after panicking step")
+	}
+	if err := e.TraceErr(); err != nil {
+		t.Fatalf("TraceErr not cleared: %v", err)
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	e := NewEngine(1)
+	if e.QueueLen() != 0 {
+		t.Fatalf("QueueLen = %d, want 0", e.QueueLen())
+	}
+	e.Schedule(Second, "a", func() {})
+	e.Schedule(2*Second, "b", func() {})
+	if e.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d, want 2", e.QueueLen())
+	}
+	e.Step()
+	if e.QueueLen() != 1 {
+		t.Fatalf("QueueLen after step = %d, want 1", e.QueueLen())
+	}
+}

@@ -1,0 +1,30 @@
+package telemetry
+
+// Per-event cost of the kernel tracer hook, in three states: no
+// recorder (the engine's no-tracers fast branch), a disabled recorder
+// (which attaches no tracer, so it should match the first), and a fully
+// enabled recorder (ring append + counter/gauge updates). The
+// benchsuite -telemetry study measures the same three states end to
+// end; this isolates the engine dispatch itself.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func benchEngine(b *testing.B, rec *Recorder) {
+	e := sim.NewEngine(1)
+	if rec != nil {
+		InstrumentEngine(e, rec)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(sim.Time(i+1), "x", func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkStepNoTracer(b *testing.B) { benchEngine(b, nil) }
+func BenchmarkStepDisabled(b *testing.B) { benchEngine(b, New(Options{Disabled: true})) }
+func BenchmarkStepEnabled(b *testing.B)  { benchEngine(b, New(Options{})) }

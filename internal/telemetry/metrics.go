@@ -1,0 +1,336 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Counter is a monotone accumulator. Methods are nil-safe so call sites
+// never branch on whether telemetry is wired.
+type Counter struct{ v float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add accumulates d (negative deltas are ignored: counters are monotone).
+func (c *Counter) Add(d float64) {
+	if c != nil && d > 0 {
+		c.v += d
+	}
+}
+
+// Value reports the accumulated total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v float64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// SetMax keeps the maximum of the current value and v.
+func (g *Gauge) SetMax(v float64) {
+	if g != nil && v > g.v {
+		g.v = v
+	}
+}
+
+// Value reports the gauge's current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram accumulates a distribution over fixed bucket boundaries:
+// counts[i] counts observations <= bounds[i], with one overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.n++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Standard bucket ladders. Decade-ish spacing covers the simulation's
+// dynamic range without per-metric tuning.
+var (
+	// PowerBuckets spans component draws from sub-mW to multi-watt.
+	PowerBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+	// EnergyBuckets spans per-interval attributions from nanojoules to
+	// kilojoules.
+	EnergyBuckets = []float64{1e-9, 1e-7, 1e-5, 1e-3, 1e-2, 0.1, 1, 10, 100, 1000}
+)
+
+// Metrics is a registry of named instruments. Like the Recorder (and the
+// engine both observe), it is single-goroutine: instrument updates are
+// plain stores, which is what keeps the enabled hot path cheap. Fleet
+// runs give each device its own registry and merge snapshots.
+type Metrics struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op instrument) on a nil registry.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (bounds are ignored if it already exists;
+// they must be sorted ascending).
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	h := m.hists[name]
+	if h == nil {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// CounterSnapshot is one counter's frozen value.
+type CounterSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's frozen value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's frozen state. Counts has one more
+// element than Bounds (the overflow bucket).
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+// Snapshot is an order-stable freeze of a registry: every section is
+// sorted by name, so two registries that saw the same updates render
+// byte-identically regardless of registration or map order.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry. Nil-safe: a nil registry yields an
+// empty snapshot.
+func (m *Metrics) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if m == nil {
+		return s
+	}
+	for name, c := range m.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.v})
+	}
+	for name, g := range m.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.v})
+	}
+	for name, h := range m.hists {
+		bounds := make([]float64, len(h.bounds))
+		copy(bounds, h.bounds)
+		counts := make([]uint64, len(h.counts))
+		copy(counts, h.counts)
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name: name, Count: h.n, Sum: h.sum, Bounds: bounds, Counts: counts,
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// MergeSnapshots folds snaps into one aggregate, in the given order:
+// counters and gauges sum (a fleet gauge aggregate is the sum of
+// per-device final values), histograms add bucket counts and sums.
+// Because every float accumulation follows the slice order, merging
+// per-device snapshots in device-index order yields byte-identical
+// aggregates for any worker count. Nil snapshots are skipped; mismatched
+// histogram bounds are an error.
+func MergeSnapshots(snaps []*Snapshot) (*Snapshot, error) {
+	counters := make(map[string]float64)
+	gauges := make(map[string]float64)
+	hists := make(map[string]*HistogramSnapshot)
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauges[g.Name] += g.Value
+		}
+		for _, h := range s.Histograms {
+			dst := hists[h.Name]
+			if dst == nil {
+				cp := HistogramSnapshot{
+					Name:   h.Name,
+					Count:  h.Count,
+					Sum:    h.Sum,
+					Bounds: append([]float64(nil), h.Bounds...),
+					Counts: append([]uint64(nil), h.Counts...),
+				}
+				hists[h.Name] = &cp
+				continue
+			}
+			if len(dst.Bounds) != len(h.Bounds) {
+				return nil, fmt.Errorf("telemetry: merge %q: bucket count mismatch (%d vs %d)",
+					h.Name, len(dst.Bounds), len(h.Bounds))
+			}
+			for i, b := range h.Bounds {
+				if dst.Bounds[i] != b {
+					return nil, fmt.Errorf("telemetry: merge %q: bound %d mismatch (%g vs %g)",
+						h.Name, i, dst.Bounds[i], b)
+				}
+			}
+			dst.Count += h.Count
+			dst.Sum += h.Sum
+			for i, n := range h.Counts {
+				dst.Counts[i] += n
+			}
+		}
+	}
+	out := &Snapshot{}
+	for name, v := range counters {
+		out.Counters = append(out.Counters, CounterSnapshot{Name: name, Value: v})
+	}
+	for name, v := range gauges {
+		out.Gauges = append(out.Gauges, GaugeSnapshot{Name: name, Value: v})
+	}
+	for _, h := range hists {
+		out.Histograms = append(out.Histograms, *h)
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out, nil
+}
+
+// Text renders the snapshot as a plain-text metrics dump, one instrument
+// per line, deterministic byte-for-byte.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("# counters\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "%s %s\n", c.Name, formatFloat(c.Value))
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("# gauges\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("# histograms\n")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "%s count=%d sum=%s", h.Name, h.Count, formatFloat(h.Sum))
+			for i, n := range h.Counts {
+				if n == 0 {
+					continue
+				}
+				if i < len(h.Bounds) {
+					fmt.Fprintf(&b, " le%s=%d", formatFloat(h.Bounds[i]), n)
+				} else {
+					fmt.Fprintf(&b, " inf=%d", n)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders v with the shortest exact representation, so text
+// dumps are deterministic and diff-friendly.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,349 @@
+// Package telemetry is the simulation's observability subsystem: a
+// typed, ring-buffered event tracer plus a lock-free metrics registry,
+// with exporters for Chrome trace-event JSON (Perfetto /
+// chrome://tracing), JSONL, the legacy "-trace" text format, and a
+// plain-text metrics dump.
+//
+// The design mirrors the paper's own implementation strategy: E-Android
+// is itself an instrumentation layer grafted onto Android's
+// BatteryStats/eventlog plumbing, and the paper spends a section (§VI-C)
+// proving that the instrumentation is cheap. This package is the repro's
+// analog: every subsystem (sim kernel, activity manager, hardware meter,
+// accountant) emits structured events through nil-checked hooks, and
+// `benchsuite` measures the enabled/disabled overhead the same way the
+// paper measures E-Android against stock Android.
+//
+// Concurrency: a Recorder is single-goroutine, exactly like the engine
+// it observes. The fleet runner gives each device its own Recorder and
+// merges the per-device metric snapshots in device-index order, which
+// keeps the merged snapshot byte-identical for any worker count.
+//
+// Cost model: a nil *Recorder is the "not built" state and every method
+// no-ops on it, so call sites can hook unconditionally; a built-but-
+// disabled Recorder additionally measures the gate cost itself (one
+// branch per emission), which is what the overhead study's "disabled"
+// configuration reports.
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+)
+
+// Kind classifies a structured event.
+type Kind uint8
+
+// Event kinds, one per instrumented subsystem concern.
+const (
+	// KindSimEvent is a discrete-event kernel firing.
+	KindSimEvent Kind = iota + 1
+	// KindLifecycle is an activity lifecycle transition.
+	KindLifecycle
+	// KindPowerState is a hardware component power-state change
+	// (screen, suspend, brightness, CPU share, peripheral hold).
+	KindPowerState
+	// KindBattery is a battery ledger update (one accrued interval).
+	KindBattery
+	// KindAttribution is one accounting attribution: energy from an
+	// accrued interval landing in an app's ledger.
+	KindAttribution
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSimEvent:
+		return "sim"
+	case KindLifecycle:
+		return "lifecycle"
+	case KindPowerState:
+		return "power"
+	case KindBattery:
+		return "battery"
+	case KindAttribution:
+		return "attribution"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Event is one structured telemetry record. The meaning of V0/V1 depends
+// on Kind:
+//
+//	KindSimEvent:    V0 = event-queue depth after pop
+//	KindLifecycle:   From/To carry the states; V0/V1 unused
+//	KindPowerState:  V0 = old value, V1 = new value
+//	KindBattery:     V0 = joules drained this interval, V1 = battery %
+//	KindAttribution: V0 = joules attributed to UID this interval
+type Event struct {
+	T    sim.Time `json:"t"`
+	Kind Kind     `json:"kind"`
+	// Name is the kernel event name, component name, or subsystem label.
+	Name string  `json:"name"`
+	UID  app.UID `json:"uid,omitempty"`
+	From string  `json:"from,omitempty"`
+	To   string  `json:"to,omitempty"`
+	V0   float64 `json:"v0,omitempty"`
+	V1   float64 `json:"v1,omitempty"`
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// EventCapacity bounds the event ring buffer; once full, the oldest
+	// events are overwritten (Dropped counts them). Zero means
+	// DefaultEventCapacity; negative disables event recording entirely
+	// while keeping metrics live.
+	EventCapacity int
+	// Disabled builds the recorder in the disabled state: every emission
+	// takes the one-branch gate path and records nothing. Used by the
+	// overhead study's "disabled" configuration; SetEnabled flips it.
+	Disabled bool
+}
+
+// DefaultEventCapacity is the ring size used when Options.EventCapacity
+// is zero: large enough for minutes of simulated activity, small enough
+// to stay cache-friendly.
+const DefaultEventCapacity = 1 << 14
+
+// Recorder is the typed event tracer: a fixed-size ring of structured
+// events plus the standard metric instruments every subsystem feeds.
+// A nil Recorder is valid and records nothing (the zero-cost path).
+type Recorder struct {
+	enabled bool
+	buf     []Event
+	total   uint64 // events ever appended; ring index = total % cap
+
+	metrics *Metrics
+
+	// Pre-resolved instruments for hot paths (one map lookup at build
+	// time instead of one per emission).
+	cSim       *Counter
+	gQueue     *Gauge
+	gQueueMax  *Gauge
+	cLifecycle *Counter
+	cPower     *Counter
+	cBattery   *Counter
+	cAttr      *Counter
+
+	hMW   map[string]*Histogram  // per-component mW distributions
+	hUIDJ map[app.UID]*Histogram // per-UID attributed-J distributions
+
+	// engine/tracer track the instrumented engine so the kernel tracer
+	// can attach lazily: a disabled recorder keeps no callback
+	// registered, so the engine's dispatch path stays on its
+	// no-tracers fast branch (see InstrumentEngine).
+	engine *sim.Engine
+	tracer *sim.Tracer
+}
+
+// New builds a Recorder with its own Metrics registry.
+func New(opts Options) *Recorder {
+	capacity := opts.EventCapacity
+	if capacity == 0 {
+		capacity = DefaultEventCapacity
+	}
+	r := &Recorder{
+		enabled: !opts.Disabled,
+		metrics: NewMetrics(),
+		hMW:     make(map[string]*Histogram),
+		hUIDJ:   make(map[app.UID]*Histogram),
+	}
+	if capacity > 0 {
+		r.buf = make([]Event, capacity)
+	}
+	r.cSim = r.metrics.Counter("sim.events_fired")
+	r.gQueue = r.metrics.Gauge("sim.queue_depth")
+	r.gQueueMax = r.metrics.Gauge("sim.queue_depth_max")
+	r.cLifecycle = r.metrics.Counter("activity.lifecycle_transitions")
+	r.cPower = r.metrics.Counter("hw.power_state_changes")
+	r.cBattery = r.metrics.Counter("hw.battery_updates")
+	r.cAttr = r.metrics.Counter("acct.attributions")
+	return r
+}
+
+// Enabled reports whether the recorder exists and is recording.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// SetEnabled flips recording on or off, attaching or detaching the
+// kernel tracer of any instrumented engine so a disabled recorder costs
+// the engine nothing. Safe on nil (no-op).
+func (r *Recorder) SetEnabled(v bool) {
+	if r == nil {
+		return
+	}
+	r.enabled = v
+	if v {
+		r.attach()
+	} else {
+		r.detach()
+	}
+}
+
+// attach registers the kernel tracer on the instrumented engine.
+func (r *Recorder) attach() {
+	if r.engine == nil || r.tracer != nil {
+		return
+	}
+	e := r.engine
+	r.tracer = e.Trace(func(t sim.Time, name string) {
+		r.RecordSimEvent(t, name, e.QueueLen())
+	})
+}
+
+// detach unregisters the kernel tracer.
+func (r *Recorder) detach() {
+	if r.tracer != nil {
+		r.tracer.Close()
+		r.tracer = nil
+	}
+}
+
+// Metrics returns the recorder's registry, nil for a nil recorder.
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.metrics
+}
+
+// append pushes ev into the ring, overwriting the oldest once full.
+func (r *Recorder) append(ev Event) {
+	if len(r.buf) > 0 {
+		r.buf[r.total%uint64(len(r.buf))] = ev
+	}
+	r.total++
+}
+
+// RecordSimEvent records one kernel event firing and samples the queue
+// depth gauges.
+func (r *Recorder) RecordSimEvent(t sim.Time, name string, queueDepth int) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.cSim.Inc()
+	d := float64(queueDepth)
+	r.gQueue.Set(d)
+	r.gQueueMax.SetMax(d)
+	r.append(Event{T: t, Kind: KindSimEvent, Name: name, V0: d})
+}
+
+// RecordLifecycle records an activity lifecycle transition.
+func (r *Recorder) RecordLifecycle(t sim.Time, uid app.UID, component, from, to string) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.cLifecycle.Inc()
+	r.append(Event{T: t, Kind: KindLifecycle, Name: component, UID: uid, From: from, To: to})
+}
+
+// RecordPowerState records a hardware power-state change on component
+// name (old and new are the numeric state, e.g. 0/1 for off/on or a
+// brightness level).
+func (r *Recorder) RecordPowerState(t sim.Time, uid app.UID, name string, old, new float64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.cPower.Inc()
+	r.append(Event{T: t, Kind: KindPowerState, Name: name, UID: uid, V0: old, V1: new})
+}
+
+// RecordBattery records one accrued battery interval: drainedJ joules
+// drained, leaving the battery at pct percent.
+func (r *Recorder) RecordBattery(t sim.Time, drainedJ, pct float64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.cBattery.Inc()
+	r.append(Event{T: t, Kind: KindBattery, Name: "battery", V0: drainedJ, V1: pct})
+}
+
+// RecordAttribution records joules landing in uid's ledger over one
+// accrued interval and feeds the per-UID energy distribution.
+func (r *Recorder) RecordAttribution(t sim.Time, uid app.UID, joules float64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.cAttr.Inc()
+	h := r.hUIDJ[uid]
+	if h == nil {
+		h = r.metrics.Histogram(fmt.Sprintf("acct.j_per_interval.uid%d", uid), EnergyBuckets)
+		r.hUIDJ[uid] = h
+	}
+	h.Observe(joules)
+	r.append(Event{T: t, Kind: KindAttribution, Name: "attribution", UID: uid, V0: joules})
+}
+
+// ObserveComponentMW feeds one accrued interval's mean power draw for a
+// hardware component into that component's mW distribution.
+func (r *Recorder) ObserveComponentMW(component string, mw float64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	h := r.hMW[component]
+	if h == nil {
+		h = r.metrics.Histogram("hw.mw."+component, PowerBuckets)
+		r.hMW[component] = h
+	}
+	h.Observe(mw)
+}
+
+// Total reports how many events were ever recorded (including any that
+// have since been overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Dropped reports how many events the ring overwrote.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	if n := uint64(len(r.buf)); r.total > n {
+		return r.total - n
+	}
+	return 0
+}
+
+// Events returns the retained events, oldest first. The slice is a copy.
+func (r *Recorder) Events() []Event {
+	if r == nil || len(r.buf) == 0 || r.total == 0 {
+		return nil
+	}
+	n := uint64(len(r.buf))
+	if r.total <= n {
+		out := make([]Event, r.total)
+		copy(out, r.buf[:r.total])
+		return out
+	}
+	out := make([]Event, 0, n)
+	start := r.total % n
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}
+
+// InstrumentEngine wires r to e: every fired kernel event becomes a
+// KindSimEvent record plus the events-fired counter and queue-depth
+// gauges. The tracer attaches only while the recorder is enabled — a
+// disabled recorder leaves the engine's tracer list empty, so event
+// dispatch keeps its no-tracers fast path and SetEnabled(true) attaches
+// retroactively. Returns the live tracer handle (nil when either
+// argument is nil or the recorder is currently disabled).
+func InstrumentEngine(e *sim.Engine, r *Recorder) *sim.Tracer {
+	if e == nil || r == nil {
+		return nil
+	}
+	r.engine = e
+	if r.enabled {
+		r.attach()
+	}
+	return r.tracer
+}
