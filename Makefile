@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench fleet-bench telemetry-bench clean
+.PHONY: all build test test-checked race vet fmt-check bench fleet-bench telemetry-bench check-bench fuzz-short clean
 
 all: build test
 
@@ -9,6 +9,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The whole suite again with the runtime invariant checker attached to
+# every device built with a nil Checks config — each existing test
+# doubles as an energy-conservation / lifecycle-legality check.
+test-checked:
+	EANDROID_CHECK=1 $(GO) test -count=1 ./...
 
 # The fleet runner is the only concurrent code in the repo; the rest of
 # the simulation is single-threaded by design (telemetry recorders are
@@ -37,6 +43,16 @@ fleet-bench:
 # enabled <= 10% / disabled <= 1% gates).
 telemetry-bench:
 	$(GO) run ./cmd/benchsuite -telemetry
+
+# Regenerate the BENCH_check.json invariant-checker overhead artifact
+# (and enforce the passive-checks <= 5% gate).
+check-bench:
+	$(GO) run ./cmd/benchsuite -check
+
+# 30-second randomized invariant hunt (the CI smoke; run longer locally
+# with -fuzztime).
+fuzz-short:
+	$(GO) test -run NONE -fuzz FuzzInvariants -fuzztime 30s ./internal/check
 
 clean:
 	$(GO) clean ./...

@@ -52,6 +52,9 @@ func run(args []string) error {
 	telem := fs.Bool("telemetry", false, "run the telemetry overhead study")
 	telemReps := fs.Int("telemetry-reps", experiments.DefaultTelemetryReps, "telemetry study repetitions")
 	telemOut := fs.String("telemetry-out", "BENCH_telemetry.json", "telemetry artifact path (empty = don't write)")
+	checkStudy := fs.Bool("check", false, "run the invariant checker overhead study")
+	checkReps := fs.Int("check-reps", experiments.DefaultCheckReps, "checker study repetitions")
+	checkOut := fs.String("check-out", "BENCH_check.json", "checker artifact path (empty = don't write)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +87,9 @@ func run(args []string) error {
 	}
 	if *telem {
 		return telemetryBench(*telemReps, *telemOut)
+	}
+	if *checkStudy {
+		return checkBench(*checkReps, *checkOut)
 	}
 	if *fleetN > 0 {
 		return fleetBench(*fleetN, *workers, *fleetSeed, *fleetOut)
@@ -272,6 +278,74 @@ func telemetryBench(reps int, outPath string) error {
 	if !art.DisabledGatePass || !art.EnabledGatePass {
 		return fmt.Errorf("telemetry overhead gate failed (disabled %+.2f%%, enabled %+.2f%%)",
 			art.DisabledOverheadPc, art.EnabledOverheadPc)
+	}
+	return nil
+}
+
+// checkArtifact is the BENCH_check.json schema: the invariant checker's
+// measured overhead floors and the gate the repo commits to (passive
+// families 1-4 within 5% of an unchecked baseline; the differential
+// oracle is reported but not gated — it is opt-in), so successive PRs
+// can catch checker-cost regressions.
+type checkArtifact struct {
+	Reps                   int     `json:"reps"`
+	BaselineMS             float64 `json:"baseline_ms"`
+	EnabledMS              float64 `json:"enabled_ms"`
+	DifferentialMS         float64 `json:"differential_ms"`
+	EnabledOverheadPc      float64 `json:"enabled_overhead_pct"`
+	DifferentialOverheadPc float64 `json:"differential_overhead_pct"`
+	EnabledGatePct         float64 `json:"enabled_gate_pct"`
+	EnabledGatePass        bool    `json:"enabled_gate_pass"`
+	EnabledViolations      int     `json:"enabled_violations"`
+	DifferentialViolations int     `json:"differential_violations"`
+}
+
+// checkGatePct: the passive checker must stay within 5% of the
+// unchecked baseline to keep its always-available default honest.
+const checkGatePct = 5.0
+
+// checkBench runs the checker overhead study, prints it, checks the
+// gate and records the floors in BENCH_check.json. A nonzero violation
+// count is itself a failure: the study doubles as a long-horizon
+// invariant sweep.
+func checkBench(reps int, outPath string) error {
+	res, err := experiments.CheckOverheadStudy(reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+
+	art := checkArtifact{
+		Reps:                   res.Reps,
+		BaselineMS:             res.BaselineMS,
+		EnabledMS:              res.EnabledMS,
+		DifferentialMS:         res.DifferentialMS,
+		EnabledOverheadPc:      res.EnabledOverheadPct(),
+		DifferentialOverheadPc: res.DifferentialOverheadPct(),
+		EnabledGatePct:         checkGatePct,
+		EnabledGatePass:        res.EnabledOverheadPct() <= checkGatePct,
+		EnabledViolations:      res.EnabledViolations,
+		DifferentialViolations: res.DifferentialViolations,
+	}
+	fmt.Printf("gates: enabled %.2f%% <= %.0f%% pass=%v, differential %.2f%% (reported, not gated)\n",
+		art.EnabledOverheadPc, checkGatePct, art.EnabledGatePass, art.DifferentialOverheadPc)
+	if outPath != "" {
+		blob, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if art.EnabledViolations != 0 || art.DifferentialViolations != 0 {
+		return fmt.Errorf("checker found %d passive / %d differential violations during the overhead study",
+			art.EnabledViolations, art.DifferentialViolations)
+	}
+	if !art.EnabledGatePass {
+		return fmt.Errorf("checker overhead gate failed (enabled %+.2f%% > %.0f%%)",
+			art.EnabledOverheadPc, checkGatePct)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -38,8 +39,16 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 	eventsOut := fs.String("events-out", "", "write the structured event stream as JSONL")
 	metricsOut := fs.String("metrics-out", "", "write a plain-text metrics dump")
+	checks := fs.Bool("check", true, "run the runtime invariant checker; any violation fails the serial sweep (the worker path checks passively per device)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Serial sweeps get a fail-fast checker through the world funnel;
+	// the parallel path already builds checked devices per fleet spec.
+	if *checks {
+		scenario.SetWorldChecks(&check.Options{FailFast: true})
+		defer scenario.SetWorldChecks(nil)
 	}
 
 	// The shared world recorder is single-goroutine; the worker path

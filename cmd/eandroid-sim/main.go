@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -36,6 +37,7 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 	eventsOut := fs.String("events-out", "", "write the structured event stream as JSONL")
 	metricsOut := fs.String("metrics-out", "", "write a plain-text metrics dump")
+	checks := fs.Bool("check", true, "run the runtime invariant checker; any violation fails the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +50,13 @@ func run(args []string) error {
 		rec = telemetry.New(telemetry.Options{})
 		scenario.SetWorldTelemetry(rec)
 		defer scenario.SetWorldTelemetry(nil)
+	}
+	// The invariant checker rides the same world funnel; fail-fast, so a
+	// conservation breach aborts the experiment instead of printing a
+	// silently wrong figure.
+	if *checks {
+		scenario.SetWorldChecks(&check.Options{FailFast: true})
+		defer scenario.SetWorldChecks(nil)
 	}
 
 	if *list || *exp == "" {

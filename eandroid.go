@@ -23,6 +23,7 @@ import (
 	"repro/internal/activity"
 	"repro/internal/app"
 	"repro/internal/broadcast"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/display"
@@ -219,6 +220,23 @@ type (
 
 // NewTelemetry builds a recorder for Config.Telemetry.
 func NewTelemetry(opts TelemetryOptions) *TelemetryRecorder { return telemetry.New(opts) }
+
+// Runtime invariant checking: set Config.Checks to attach a checker
+// that validates energy conservation, battery bounds, lifecycle
+// legality and aggregator consistency on every metering interval, with
+// an optional differential oracle (a shadow sampled accountant checked
+// against the exact ledger). Leave Config.Checks nil to let the
+// EANDROID_CHECK environment variable decide. After a run, call
+// Device.FinishChecks for the final audit and the violation list.
+type (
+	// CheckOptions configures the invariant checker.
+	CheckOptions = check.Options
+	// CheckViolation is one recorded invariant violation.
+	CheckViolation = check.Violation
+	// CheckInvariant identifies which invariant family a violation
+	// belongs to.
+	CheckInvariant = check.Invariant
+)
 
 // WriteTrace exports recorded events as Chrome trace-event JSON
 // (loadable in Perfetto or chrome://tracing).

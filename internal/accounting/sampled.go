@@ -2,6 +2,7 @@ package accounting
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/app"
@@ -27,6 +28,10 @@ type SampledAccountant struct {
 	appJ    map[app.UID]float64
 	screenJ float64
 	systemJ float64
+
+	// lastSample is the instant the accumulators last advanced to;
+	// Stop flushes the partial period since it.
+	lastSample sim.Time
 }
 
 // DefaultSamplePeriod mirrors PowerTutor's 1 Hz sampling.
@@ -54,20 +59,37 @@ func (s *SampledAccountant) Start() {
 	if s.ticker != nil {
 		return
 	}
+	s.lastSample = s.engine.Now()
 	s.ticker = s.engine.Every(s.period, "accounting.sample", s.sample)
 }
 
-// Stop halts sampling.
+// Stop halts sampling, first flushing the partial period since the last
+// tick at the current instantaneous rates — without the flush, up to
+// one period of estimated energy silently vanished at run end, skewing
+// every sampled-vs-exact comparison on horizons that are not an exact
+// multiple of the period. Stopping twice does not double-flush.
 func (s *SampledAccountant) Stop() {
-	if s.ticker != nil {
-		s.ticker.Stop()
-		s.ticker = nil
+	if s.ticker == nil {
+		return
+	}
+	s.ticker.Stop()
+	s.ticker = nil
+	if dt := s.engine.Now().Sub(s.lastSample); dt > 0 {
+		s.accrueSpan(dt.Seconds())
+		s.lastSample = s.engine.Now()
 	}
 }
 
 // sample attributes one period of energy at the instantaneous rates.
 func (s *SampledAccountant) sample() {
-	secs := s.period.Seconds()
+	s.accrueSpan(s.period.Seconds())
+	s.lastSample = s.engine.Now()
+}
+
+// accrueSpan charges secs seconds at the current instantaneous rates —
+// the defining approximation of a sampling profiler: state changes
+// inside the span are invisible.
+func (s *SampledAccountant) accrueSpan(secs float64) {
 	for _, a := range s.pm.Apps() {
 		if p := s.meter.InstantAppPowerMW(a.UID); p > 0 {
 			s.appJ[a.UID] += p / 1000 * secs
@@ -86,11 +108,20 @@ func (s *SampledAccountant) ScreenJ() float64 { return s.screenJ }
 // SystemJ reports the sampled platform-base estimate.
 func (s *SampledAccountant) SystemJ() float64 { return s.systemJ }
 
-// TotalJ reports the sampled total.
+// TotalJ reports the sampled total. It iterates the appJ ledger itself
+// (in sorted UID order, so the float summation is reproducible), not
+// pm.Apps(): an app uninstalled mid-run keeps the energy it accrued —
+// walking the installed list silently dropped those joules from the
+// total while AppJ still reported them.
 func (s *SampledAccountant) TotalJ() float64 {
+	uids := make([]app.UID, 0, len(s.appJ))
+	for uid := range s.appJ {
+		uids = append(uids, uid)
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
 	t := s.screenJ + s.systemJ
-	for _, a := range s.pm.Apps() {
-		t += s.appJ[a.UID]
+	for _, uid := range uids {
+		t += s.appJ[uid]
 	}
 	return t
 }

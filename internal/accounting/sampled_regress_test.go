@@ -1,0 +1,77 @@
+package accounting_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/accounting"
+)
+
+// Regression: TotalJ used to iterate the package manager's live app
+// list, so energy attributed to an app uninstalled mid-run silently
+// vanished from the sampled total (breaking conservation against the
+// battery). The total must be the sum of the ledger itself.
+func TestSampledTotalJRetainsUninstalledApps(t *testing.T) {
+	dev, a, s := sampledFixture(t, time.Second)
+	if _, err := dev.Activities.UserStartApp("com.s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.AppJ(a.UID) == 0 {
+		t.Fatal("fixture app earned no sampled energy")
+	}
+	before := s.TotalJ()
+	if err := dev.Packages.Uninstall("com.s"); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.TotalJ(); after < before-1e-12 {
+		t.Fatalf("uninstall dropped energy from TotalJ: %v -> %v", before, after)
+	}
+	if err := dev.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	if total, app := s.TotalJ(), s.AppJ(a.UID); total < app {
+		t.Fatalf("TotalJ %v no longer covers the dead app's ledger entry %v", total, app)
+	}
+}
+
+// Regression: Stop used to discard the span since the last tick, so a
+// run whose length was not a multiple of the sample period lost up to
+// one period of energy. In steady state the flushed sampler must now
+// track the exact integrator closely even across a half-period tail.
+func TestSampledStopFlushesPartialFinalPeriod(t *testing.T) {
+	dev, a, s := sampledFixture(t, time.Second)
+	if _, err := dev.Activities.UserStartApp("com.s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(10*time.Second + 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	dev.Flush()
+	exact := dev.Android.AppJ(a.UID)
+	if e := accounting.RelativeError(s.AppJ(a.UID), exact); e > 0.005 {
+		t.Fatalf("partial final period lost: error %.4f (sampled %v, exact %v)",
+			e, s.AppJ(a.UID), exact)
+	}
+}
+
+// Stop is idempotent: a second call must not flush the tail twice.
+func TestSampledStopIdempotent(t *testing.T) {
+	dev, _, s := sampledFixture(t, time.Second)
+	if _, err := dev.Activities.UserStartApp("com.s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Run(3*time.Second + 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	total := s.TotalJ()
+	s.Stop()
+	if got := s.TotalJ(); got != total {
+		t.Fatalf("second Stop changed the total: %v -> %v", total, got)
+	}
+}

@@ -1,0 +1,111 @@
+package check_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/device"
+	"repro/internal/display"
+	"repro/internal/intent"
+	"repro/internal/power"
+	"repro/internal/scenario"
+	"repro/internal/service"
+)
+
+// FuzzInvariants drives a checked world with a byte-coded op stream —
+// random but legal framework calls (starts, stops, binds, brightness,
+// wakelocks, uninstalls, time) — and asserts the invariant checker
+// stays silent. Individual op errors are expected (the fuzzer will
+// gleefully stop services that never started); what may never happen is
+// a sequence of legal API calls that breaks energy conservation,
+// lifecycle legality or aggregator consistency. Corpus seeds live in
+// testdata/fuzz/FuzzInvariants.
+func FuzzInvariants(f *testing.F) {
+	// Seeds: a quiet run, a start-heavy run, and a churny mix of
+	// service, wakelock, brightness and uninstall ops.
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 30, 1, 1, 3, 0, 60, 4, 0, 120})
+	f.Add([]byte{5, 7, 0, 10, 6, 8, 9, 2, 0, 45, 10, 200, 11, 1, 0, 90, 12, 0, 30})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		w, err := scenario.NewWorld(device.Config{
+			EAndroid: true,
+			Checks:   &check.Options{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := w.Dev
+		pkgs := []string{scenario.PkgMessage, scenario.PkgCamera,
+			scenario.PkgContacts, scenario.PkgVictim, scenario.PkgMalware}
+		var conns []*service.Connection
+		var locks []*power.Wakelock
+		next := func(i *int) byte {
+			if *i >= len(ops) {
+				return 0
+			}
+			b := ops[*i]
+			*i++
+			return b
+		}
+		for i := 0; i < len(ops); {
+			switch next(&i) % 13 {
+			case 0: // advance time 1..255 virtual seconds
+				d := time.Duration(next(&i))*time.Second + time.Second
+				if err := dev.Run(d); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // user opens an app
+				_, _ = dev.Activities.UserStartApp(pkgs[int(next(&i))%len(pkgs)])
+			case 2: // malware cross-starts the victim
+				_, _ = dev.Activities.StartActivity(intent.Intent{
+					Sender:    w.Malware.UID,
+					Component: scenario.PkgVictim + "/Main",
+				})
+			case 3: // home button
+				dev.Activities.Home(w.Malware.UID)
+			case 4: // back button
+				dev.Activities.Back()
+			case 5: // start the victim's service
+				_, _ = dev.Services.Start(intent.Intent{
+					Sender:    w.Victim.UID,
+					Component: scenario.PkgVictim + "/Work",
+				})
+			case 6: // stop it (may legally fail)
+				_ = dev.Services.Stop(w.Victim.UID, scenario.PkgVictim+"/Work")
+			case 7: // malware binds the victim's service
+				if c, err := dev.Services.Bind(intent.Intent{
+					Sender:    w.Malware.UID,
+					Component: scenario.PkgVictim + "/Work",
+				}); err == nil {
+					conns = append(conns, c)
+				}
+			case 8: // unbind the oldest live connection
+				if len(conns) > 0 {
+					_ = dev.Services.Unbind(conns[0])
+					conns = conns[1:]
+				}
+			case 9: // acquire a screen wakelock
+				if wl, err := dev.Power.Acquire(w.Malware.UID, power.ScreenBright, "fuzz"); err == nil {
+					locks = append(locks, wl)
+				}
+			case 10: // set brightness (camera holds WRITE_SETTINGS)
+				_ = dev.Display.SetBrightness(w.Camera.UID, display.SourceApp, int(next(&i)))
+			case 11: // release the oldest wakelock
+				if len(locks) > 0 {
+					_ = locks[0].Release()
+					locks = locks[1:]
+				}
+			case 12: // uninstall + drop dangling handles
+				_ = dev.Packages.Uninstall(pkgs[int(next(&i))%len(pkgs)])
+				conns, locks = nil, nil
+			}
+		}
+		if err := dev.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if vs := dev.FinishChecks(); len(vs) > 0 {
+			t.Fatalf("op stream %v broke %d invariants, first: %v", ops, len(vs), vs[0])
+		}
+	})
+}

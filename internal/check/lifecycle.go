@@ -1,0 +1,106 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/activity"
+	"repro/internal/app"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// Checker family 3: lifecycle legality. The activity and service
+// managers apply their aggregator demand transitions before firing
+// hooks, so on hook entry the checker can assert both the transition
+// itself and its hardware-demand consequence.
+
+// ActivityStarted implements activity.Hooks: it seeds the continuity
+// tracker with the record's state at creation.
+func (c *Checker) ActivityStarted(t sim.Time, caller app.UID, a *activity.Activity, explicit bool) {
+	if c == nil {
+		return
+	}
+	c.states[a] = a.State()
+}
+
+// ForegroundChanged implements activity.Hooks (no invariant attaches to
+// foreground identity itself).
+func (c *Checker) ForegroundChanged(t sim.Time, prev, cur app.UID, cause activity.Cause) {}
+
+// Lifecycle implements activity.Hooks: transition legality, hook-stream
+// continuity, destroyed-holds-nothing, and an aggregator audit.
+func (c *Checker) Lifecycle(t sim.Time, a *activity.Activity, old, new activity.State) {
+	if c == nil {
+		return
+	}
+	if prev, ok := c.states[a]; ok && prev != old {
+		c.report(InvLifecycle,
+			fmt.Sprintf("activity %s transition %v->%v discontinuous with last observed state %v",
+				a.FullName(), old, new, prev), float64(old), float64(prev), 0)
+	}
+	if old == activity.Destroyed {
+		c.report(InvLifecycle,
+			fmt.Sprintf("activity %s left Destroyed for %v", a.FullName(), new),
+			float64(new), float64(activity.Destroyed), 0)
+	}
+	if new == old {
+		c.report(InvLifecycle,
+			fmt.Sprintf("activity %s self-transition %v->%v", a.FullName(), old, new),
+			float64(new), float64(old), 0)
+	}
+	if new == activity.Destroyed {
+		delete(c.states, a)
+		if c.deps.Aggregator.Has(a) {
+			c.report(InvLifecycle,
+				fmt.Sprintf("destroyed activity %s still holds hardware demand", a.FullName()),
+				1, 0, 0)
+		}
+	} else {
+		c.states[a] = new
+	}
+	c.auditAggregator()
+}
+
+// ServiceStarted implements service.Hooks.
+func (c *Checker) ServiceStarted(t sim.Time, caller app.UID, svc *service.Service) {}
+
+// ServiceStopped implements service.Hooks.
+func (c *Checker) ServiceStopped(t sim.Time, caller app.UID, svc *service.Service, kind service.StopKind) {
+}
+
+// ServiceBound implements service.Hooks.
+func (c *Checker) ServiceBound(t sim.Time, conn *service.Connection) {}
+
+// ServiceUnbound implements service.Hooks.
+func (c *Checker) ServiceUnbound(t sim.Time, conn *service.Connection, cause service.UnbindCause) {}
+
+// ServiceRunning implements service.Hooks: the hook's running flag, the
+// record's own view, and the aggregator entry must all agree — a
+// service that stopped drawing power must not keep hardware demand, and
+// a running one must have an entry (zero demand still counts).
+func (c *Checker) ServiceRunning(t sim.Time, svc *service.Service, running bool) {
+	if c == nil {
+		return
+	}
+	if running != svc.Running() {
+		c.report(InvLifecycle,
+			fmt.Sprintf("service %s running hook (%v) disagrees with record (%v)",
+				svc.FullName(), running, svc.Running()), b2f(svc.Running()), b2f(running), 0)
+	}
+	if has := c.deps.Aggregator.Has(svc); has != running {
+		what := "not running but still holds hardware demand"
+		if !has {
+			what = "running but holds no hardware demand entry"
+		}
+		c.report(InvLifecycle,
+			fmt.Sprintf("service %s %s", svc.FullName(), what), b2f(has), b2f(running), 0)
+	}
+	c.auditAggregator()
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

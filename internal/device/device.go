@@ -16,6 +16,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/batteryui"
 	"repro/internal/broadcast"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/display"
 	"repro/internal/hw"
@@ -58,6 +59,13 @@ type Config struct {
 	// like the device itself: give every device its own (fleet runs
 	// build one per device from Spec.Telemetry).
 	Telemetry *telemetry.Recorder
+	// Checks, when non-nil, wires the runtime invariant checker (see
+	// internal/check) into the meter and the activity/service managers.
+	// When nil, the EANDROID_CHECK environment variable is consulted
+	// (check.FromEnv), so whole test suites can run checked without
+	// touching call sites. Like a telemetry recorder, a checker is
+	// single-goroutine: one per device.
+	Checks *check.Options
 }
 
 // Device is a fully wired simulated smartphone.
@@ -77,6 +85,9 @@ type Device struct {
 	Display *display.Display
 	Meter   *hw.Meter
 	Battery *hw.Battery
+	// Aggregator is the shared per-UID hardware demand aggregator the
+	// component managers write through.
+	Aggregator *hw.Aggregator
 	// Android is the baseline accountant (always present: E-Android's
 	// views are layered on top of it, mirroring the paper's "revised
 	// battery interface").
@@ -86,6 +97,9 @@ type Device struct {
 	// Telemetry is the recorder from Config.Telemetry, nil when the
 	// device runs uninstrumented.
 	Telemetry *telemetry.Recorder
+	// Checker is the runtime invariant checker, nil when the device
+	// runs unchecked. Read violations with FinishChecks.
+	Checker *check.Checker
 }
 
 // foregroundAdapter feeds foreground changes into the accountant,
@@ -207,6 +221,7 @@ func New(cfg Config) (*Device, error) {
 		Display:    dsp,
 		Meter:      meter,
 		Battery:    battery,
+		Aggregator: agg,
 		Android:    acc,
 		Telemetry:  cfg.Telemetry,
 	}
@@ -232,6 +247,33 @@ func New(cfg Config) (*Device, error) {
 		dsp.AddHooks(mon)
 		meter.AddSink(mon)
 		dev.EAndroid = mon
+	}
+
+	// The checker attaches last: its sink must run after the accountant
+	// (so cumulative conservation compares a settled ledger) and after
+	// the monitor (whose collateral maps superimpose by design and are
+	// deliberately outside the conservation sum).
+	checks := cfg.Checks
+	if checks == nil {
+		checks = check.FromEnv()
+	}
+	if checks != nil && !checks.Disabled {
+		ck, err := check.New(*checks, check.Deps{
+			Engine:     engine,
+			Battery:    battery,
+			Meter:      meter,
+			Aggregator: agg,
+			Ledger:     acc,
+			Packages:   pm,
+			Telemetry:  cfg.Telemetry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		meter.AddSink(ck)
+		am.AddHooks(ck)
+		svm.AddHooks(ck)
+		dev.Checker = ck
 	}
 
 	if cfg.ScreenTimeout != 0 {
@@ -264,6 +306,17 @@ func (d *Device) At(offset time.Duration, name string, fn func()) {
 // Flush settles energy accounting up to the current instant. Call before
 // reading views.
 func (d *Device) Flush() { d.Meter.Flush() }
+
+// FinishChecks settles accounting, runs the checker's end-of-run passes
+// (final aggregator audit; differential error envelope) and returns
+// every recorded violation. Nil-safe and idempotent; returns nil when
+// the device runs unchecked.
+func (d *Device) FinishChecks() []check.Violation {
+	if d.Checker == nil {
+		return nil
+	}
+	return d.Checker.Finish()
+}
 
 // UserUnlock simulates the user unlocking the device: the screen wakes
 // and the system dispatches the ACTION_USER_PRESENT broadcast that

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/accounting"
+	"repro/internal/check"
 	"repro/internal/device"
 	"repro/internal/fleet"
 	"repro/internal/powersig"
@@ -18,6 +19,17 @@ import (
 // pool. Each device gets its own derived seed, so the fleet models a
 // small population rather than one handset repeated.
 
+// checkedCfg enables the runtime invariant checker (families 1-4,
+// passive) on a fleet device template: every fleet run is a free
+// correctness sweep, and per-device violations surface in
+// fleet.Result.Violations and the rendered summary.
+func checkedCfg(cfg device.Config) device.Config {
+	if cfg.Checks == nil {
+		cfg.Checks = &check.Options{}
+	}
+	return cfg
+}
+
 // FleetStealthStudy runs the §V stealth auto-launch attack on a fleet
 // of `devices` devices using `workers` workers (0 = GOMAXPROCS).
 func FleetStealthStudy(devices, workers int, seed int64) (*fleet.FleetResult, error) {
@@ -25,7 +37,7 @@ func FleetStealthStudy(devices, workers int, seed int64) (*fleet.FleetResult, er
 		Devices: devices,
 		Workers: workers,
 		Seed:    seed,
-		Config:  worldCfg(accounting.BatteryStats),
+		Config:  checkedCfg(worldCfg(accounting.BatteryStats)),
 		Scenario: func(i int, dev *device.Device) error {
 			w, err := scenario.Populate(dev)
 			if err != nil {
@@ -49,7 +61,7 @@ func FleetBenchStudy(devices, workers int, seed int64) (*fleet.FleetResult, erro
 		Devices: devices,
 		Workers: workers,
 		Seed:    seed,
-		Config:  worldCfg(accounting.BatteryStats),
+		Config:  checkedCfg(worldCfg(accounting.BatteryStats)),
 		Scenario: func(i int, dev *device.Device) error {
 			w, err := scenario.Populate(dev)
 			if err != nil {
@@ -109,7 +121,7 @@ func FleetDrainStudy(replicas, workers int, seed int64, window time.Duration) (*
 		Devices: replicas * len(configs),
 		Workers: workers,
 		Seed:    seed,
-		Config:  device.Config{Policy: accounting.BatteryStats},
+		Config:  checkedCfg(device.Config{Policy: accounting.BatteryStats}),
 		Scenario: func(i int, dev *device.Device) error {
 			w, err := scenario.Populate(dev)
 			if err != nil {
@@ -150,7 +162,7 @@ func Fig3WithStepWorkers(step time.Duration, workers int) (*Fig3Result, error) {
 	fr, err := fleet.Run(context.Background(), fleet.Spec{
 		Devices: len(configs),
 		Workers: workers,
-		Config:  device.Config{Policy: accounting.BatteryStats},
+		Config:  checkedCfg(device.Config{Policy: accounting.BatteryStats}),
 		Scenario: func(i int, dev *device.Device) error {
 			w, err := scenario.Populate(dev)
 			if err != nil {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/app"
+	"repro/internal/check"
 	"repro/internal/core"
 )
 
@@ -30,8 +31,13 @@ type Summary struct {
 	// Attacks is the fleet-wide attack total.
 	Attacks int
 	// Labels maps each UID to its label (taken from the first device
-	// that reported it).
+	// that reported a non-empty one; "uid:<n>" when none did).
 	Labels map[app.UID]string
+	// Violations is the fleet-wide invariant violation total; zero
+	// when checking is off or everything held.
+	Violations int
+	// ViolationsByInvariant counts violations per checker family.
+	ViolationsByInvariant map[check.Invariant]int
 }
 
 // DetectionRate reports the fraction of successful devices whose
@@ -60,11 +66,12 @@ func (s Summary) MeanDrainedJ() float64 {
 // counts.
 func summarize(results []Result) Summary {
 	s := Summary{
-		Devices:         len(results),
-		EnergyByUID:     make(map[app.UID]float64),
-		CollateralByUID: make(map[app.UID]float64),
-		AttacksByVector: make(map[core.Vector]int),
-		Labels:          make(map[app.UID]string),
+		Devices:               len(results),
+		EnergyByUID:           make(map[app.UID]float64),
+		CollateralByUID:       make(map[app.UID]float64),
+		AttacksByVector:       make(map[core.Vector]int),
+		Labels:                make(map[app.UID]string),
+		ViolationsByInvariant: make(map[check.Invariant]int),
 	}
 	for _, r := range results {
 		if r.Err != nil {
@@ -85,10 +92,33 @@ func summarize(results []Result) Summary {
 		for v, n := range r.AttacksByVector {
 			s.AttacksByVector[v] += n
 		}
+		// First non-empty label wins: a device can report a UID whose
+		// label it never learned (e.g. an app uninstalled before
+		// harvest), and taking that empty string first-come blinded
+		// Render for the whole fleet.
 		for uid, label := range r.Labels {
+			if label == "" {
+				continue
+			}
 			if _, ok := s.Labels[uid]; !ok {
 				s.Labels[uid] = label
 			}
+		}
+		for _, v := range r.Violations {
+			s.Violations++
+			s.ViolationsByInvariant[v.Invariant]++
+		}
+	}
+	// Backfill: Render indexes Labels by every ledger UID, and a UID no
+	// device could label must still print something identifiable.
+	for uid := range s.EnergyByUID {
+		if s.Labels[uid] == "" {
+			s.Labels[uid] = fmt.Sprintf("uid:%d", uid)
+		}
+	}
+	for uid := range s.CollateralByUID {
+		if s.Labels[uid] == "" {
+			s.Labels[uid] = fmt.Sprintf("uid:%d", uid)
 		}
 	}
 	return s
@@ -114,6 +144,19 @@ func (fr *FleetResult) Render() string {
 	fmt.Fprintf(&b, "outcome:   %d ok, %d failed\n", s.Devices-s.Failed, s.Failed)
 	fmt.Fprintf(&b, "drain:     %.3f J total, %.3f J mean/device\n", s.TotalDrainedJ, s.MeanDrainedJ())
 	fmt.Fprintf(&b, "attacks:   %d total, detection rate %.1f%%\n", s.Attacks, s.DetectionRate()*100)
+	if s.Violations > 0 {
+		fmt.Fprintf(&b, "checks:    %d invariant violations\n", s.Violations)
+		invs := make([]check.Invariant, 0, len(s.ViolationsByInvariant))
+		for inv := range s.ViolationsByInvariant {
+			invs = append(invs, inv)
+		}
+		sort.Slice(invs, func(i, j int) bool { return invs[i] < invs[j] })
+		b.WriteString("  by invariant:")
+		for _, inv := range invs {
+			fmt.Fprintf(&b, " %s=%d", inv, s.ViolationsByInvariant[inv])
+		}
+		b.WriteString("\n")
+	}
 	if len(s.AttacksByVector) > 0 {
 		vectors := make([]core.Vector, 0, len(s.AttacksByVector))
 		for v := range s.AttacksByVector {
@@ -144,8 +187,12 @@ func (fr *FleetResult) Render() string {
 			fmt.Fprintf(&b, "  #%03d seed=%-20d FAILED: %v\n", r.Index, r.Seed, firstLine(r.Err.Error()))
 			continue
 		}
-		fmt.Fprintf(&b, "  #%03d seed=%-20d drained %10.3f J  battery %6.2f%%  attacks %d\n",
+		line := fmt.Sprintf("  #%03d seed=%-20d drained %10.3f J  battery %6.2f%%  attacks %d",
 			r.Index, r.Seed, r.DrainedJ, r.BatteryPct, r.Attacks)
+		if n := len(r.Violations); n > 0 {
+			line += fmt.Sprintf("  VIOLATIONS %d (first: %s)", n, firstLine(r.Violations[0].String()))
+		}
+		b.WriteString(line + "\n")
 	}
 	return b.String()
 }

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/check"
+)
+
+// Regression: the label merge used to take the first label seen for a
+// UID — including the empty string a device reports for an app it could
+// no longer name (e.g. uninstalled before harvest) — which blanked the
+// fleet render for everyone. First NON-empty label wins now, with a
+// "uid:<n>" fallback when no device could name the UID.
+func TestSummarizeLabelFallback(t *testing.T) {
+	rs := []Result{
+		{Index: 0,
+			EnergyByUID: map[app.UID]float64{10: 5, 11: 2},
+			Labels:      map[app.UID]string{10: "", 11: ""}},
+		{Index: 1,
+			EnergyByUID:     map[app.UID]float64{10: 3},
+			CollateralByUID: map[app.UID]float64{12: 1},
+			Labels:          map[app.UID]string{10: "Victim"}},
+	}
+	s := summarize(rs)
+	if got := s.Labels[10]; got != "Victim" {
+		t.Fatalf("Labels[10] = %q, want the later device's non-empty label", got)
+	}
+	if got := s.Labels[11]; got != "uid:11" {
+		t.Fatalf("Labels[11] = %q, want the uid fallback", got)
+	}
+	if got := s.Labels[12]; got != "uid:12" {
+		t.Fatalf("Labels[12] = %q, want the uid fallback for collateral-only UIDs", got)
+	}
+	fr := &FleetResult{Results: rs, Summary: s}
+	for i, line := range strings.Split(fr.Render(), "\n") {
+		if strings.Contains(line, " J") && strings.HasPrefix(strings.TrimSpace(line), "J") {
+			t.Fatalf("render line %d has an empty label: %q", i, line)
+		}
+	}
+}
+
+func TestSummarizeCountsViolations(t *testing.T) {
+	rs := []Result{
+		{Index: 0, Violations: []check.Violation{
+			{Invariant: check.InvConservation, Detail: "d0"},
+			{Invariant: check.InvLifecycle, Detail: "d1"},
+		}},
+		{Index: 1, Violations: []check.Violation{
+			{Invariant: check.InvConservation, Detail: "d2"},
+		}},
+		{Index: 2},
+	}
+	s := summarize(rs)
+	if s.Violations != 3 {
+		t.Fatalf("Violations = %d, want 3", s.Violations)
+	}
+	if s.ViolationsByInvariant[check.InvConservation] != 2 ||
+		s.ViolationsByInvariant[check.InvLifecycle] != 1 {
+		t.Fatalf("ViolationsByInvariant = %v", s.ViolationsByInvariant)
+	}
+	out := (&FleetResult{Results: rs, Summary: s}).Render()
+	if !strings.Contains(out, "checks:    3 invariant violations") {
+		t.Fatalf("render missing fleet violation total:\n%s", out)
+	}
+	if !strings.Contains(out, "conservation=2") || !strings.Contains(out, "lifecycle=1") {
+		t.Fatalf("render missing per-invariant counts:\n%s", out)
+	}
+	if !strings.Contains(out, "VIOLATIONS 2") {
+		t.Fatalf("render missing per-device violation flag:\n%s", out)
+	}
+}
+
+// A clean fleet must render byte-identically to the pre-checker format:
+// no "checks:" line, no per-device VIOLATIONS suffix.
+func TestRenderOmitsCheckLinesWhenClean(t *testing.T) {
+	rs := []Result{{Index: 0, DrainedJ: 1}}
+	out := (&FleetResult{Results: rs, Summary: summarize(rs)}).Render()
+	if strings.Contains(out, "checks:") || strings.Contains(out, "VIOLATIONS") {
+		t.Fatalf("clean fleet render mentions checks:\n%s", out)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/sim"
@@ -94,6 +95,10 @@ type Result struct {
 	// Labels maps every UID seen in this device's ledgers to its
 	// human-readable label.
 	Labels map[app.UID]string
+	// Violations holds the device's runtime invariant violations; nil
+	// unless the device template enables Config.Checks (or the
+	// EANDROID_CHECK environment variable does) and something broke.
+	Violations []check.Violation
 	// Custom is Spec.Collect's payload, if any.
 	Custom any
 	// Metrics is the device's telemetry snapshot; nil unless
@@ -300,6 +305,7 @@ func runDevice(ctx context.Context, spec Spec, i int) (res Result) {
 		return res
 	}
 	harvest(&res, dev)
+	res.Violations = dev.FinishChecks()
 	if dev.Telemetry != nil {
 		res.Metrics = dev.Telemetry.Metrics().Snapshot()
 	}

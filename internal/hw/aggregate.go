@@ -62,39 +62,73 @@ func (g *Aggregator) Set(key any, uid app.UID, d Demand) error {
 	if d.CPUUtil > 1 {
 		d.CPUUtil = 1
 	}
+	// Validate the hold transitions before mutating anything: the only
+	// fallible half of a transition is a release without a matching
+	// meter hold (Hold on a peripheral never fails), so checking those
+	// up front makes Set atomic — a failed call leaves entries, CPU
+	// sums and meter holds exactly as they were.
+	if err := g.validateHolds(uid, prev.demand, d); err != nil {
+		return err
+	}
 	g.entries[key] = demandEntry{uid: uid, demand: d}
 	g.recomputeCPU(uid)
-	if err := g.applyHold(Camera, uid, prev.demand.Camera, d.Camera); err != nil {
-		return err
-	}
-	if err := g.applyHold(GPS, uid, prev.demand.GPS, d.GPS); err != nil {
-		return err
-	}
-	if err := g.applyHold(WiFi, uid, prev.demand.WiFi, d.WiFi); err != nil {
-		return err
-	}
-	return g.applyHold(Audio, uid, prev.demand.Audio, d.Audio)
+	g.mustApplyHolds(uid, prev.demand, d)
+	return nil
 }
 
 // Clear removes the demand contributed by key. Clearing an absent key is
-// a no-op.
+// a no-op. Like Set, a failed Clear leaves state unchanged.
 func (g *Aggregator) Clear(key any) error {
 	prev, ok := g.entries[key]
 	if !ok {
 		return nil
 	}
+	if err := g.validateHolds(prev.uid, prev.demand, Demand{}); err != nil {
+		return err
+	}
 	delete(g.entries, key)
 	g.recomputeCPU(prev.uid)
-	if err := g.applyHold(Camera, prev.uid, prev.demand.Camera, false); err != nil {
-		return err
+	g.mustApplyHolds(prev.uid, prev.demand, Demand{})
+	return nil
+}
+
+// holdTransitions enumerates the peripheral flags of a was→is demand
+// change in fixed component order.
+func holdTransitions(was, is Demand) [4]struct {
+	c       Component
+	was, is bool
+} {
+	return [4]struct {
+		c       Component
+		was, is bool
+	}{
+		{Camera, was.Camera, is.Camera},
+		{GPS, was.GPS, is.GPS},
+		{WiFi, was.WiFi, is.WiFi},
+		{Audio, was.Audio, is.Audio},
 	}
-	if err := g.applyHold(GPS, prev.uid, prev.demand.GPS, false); err != nil {
-		return err
+}
+
+// validateHolds confirms every release a was→is transition implies is
+// backed by a live meter hold, without touching any state.
+func (g *Aggregator) validateHolds(uid app.UID, was, is Demand) error {
+	for _, t := range holdTransitions(was, is) {
+		if t.was && !t.is && !g.meter.Holding(t.c, uid) {
+			return fmt.Errorf("hw: aggregator cannot release %v for uid %d: not held", t.c, uid)
+		}
 	}
-	if err := g.applyHold(WiFi, prev.uid, prev.demand.WiFi, false); err != nil {
-		return err
+	return nil
+}
+
+// mustApplyHolds applies a pre-validated transition; any residual meter
+// error indicates aggregator/meter state corruption, which must not be
+// half-applied silently.
+func (g *Aggregator) mustApplyHolds(uid app.UID, was, is Demand) {
+	for _, t := range holdTransitions(was, is) {
+		if err := g.applyHold(t.c, uid, t.was, t.is); err != nil {
+			panic(fmt.Sprintf("hw: validated hold transition failed: %v", err))
+		}
 	}
-	return g.applyHold(Audio, prev.uid, prev.demand.Audio, false)
 }
 
 // recomputeCPU re-sums uid's utilization from scratch. Recomputing (as
@@ -134,3 +168,60 @@ func (g *Aggregator) applyHold(c Component, uid app.UID, was, is bool) error {
 
 // CPUUtil reports the aggregate (unclamped) utilization for uid.
 func (g *Aggregator) CPUUtil(uid app.UID) float64 { return g.cpu[uid] }
+
+// Has reports whether key currently contributes a demand entry. The
+// check subsystem uses it to assert that dead components hold nothing.
+func (g *Aggregator) Has(key any) bool {
+	_, ok := g.entries[key]
+	return ok
+}
+
+// Entries reports the number of live demand entries.
+func (g *Aggregator) Entries() int { return len(g.entries) }
+
+// Audit recomputes every per-UID CPU sum from the live entries and
+// compares it against both the cached totals and the meter's clamped
+// view, returning a descriptive error on the first inconsistency
+// (checked in sorted UID order, so failures are deterministic). The
+// recomputation uses the same sorted-order summation as recomputeCPU,
+// so agreement is exact, not epsilon-based. O(entries + uids); the
+// check subsystem calls it on lifecycle transitions and at run end.
+func (g *Aggregator) Audit() error {
+	want := make(map[app.UID][]float64)
+	for _, e := range g.entries {
+		want[e.uid] = append(want[e.uid], e.demand.CPUUtil)
+	}
+	uids := make([]app.UID, 0, len(want)+len(g.cpu))
+	for uid := range want {
+		uids = append(uids, uid)
+	}
+	for uid := range g.cpu {
+		if _, ok := want[uid]; !ok {
+			uids = append(uids, uid)
+		}
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	for _, uid := range uids {
+		utils := want[uid]
+		sort.Float64s(utils)
+		var total float64
+		for _, u := range utils {
+			total += u
+		}
+		cached, ok := g.cpu[uid]
+		if total == 0 && ok {
+			return fmt.Errorf("hw: aggregator caches cpu %v for uid %d with no contributing demand", cached, uid)
+		}
+		if total != 0 && cached != total {
+			return fmt.Errorf("hw: aggregator cached cpu %v for uid %d, live entries sum to %v", cached, uid, total)
+		}
+		clamped := total
+		if clamped > 1 {
+			clamped = 1
+		}
+		if got := g.meter.CPUUtil(uid); got != clamped {
+			return fmt.Errorf("hw: meter cpu %v for uid %d, aggregator expects %v", got, uid, clamped)
+		}
+	}
+	return nil
+}

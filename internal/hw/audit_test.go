@@ -1,0 +1,88 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression: Set and Clear used to mutate the entry table and the
+// meter's CPU view before discovering that a peripheral release had no
+// backing hold, leaving the aggregator half-updated on error. Both must
+// now validate first and leave every observable untouched on failure.
+func TestAggregatorSetClearAtomicOnInvalidRelease(t *testing.T) {
+	_, m, g := aggFixture(t)
+	k := new(int)
+	if err := g.Set(k, 7, Demand{Camera: true, CPUUtil: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	// Desync: something releases the camera behind the aggregator's back.
+	if err := m.Release(Camera, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replacing the demand implies releasing a camera that is no longer
+	// held — the operation must fail without touching any state.
+	if err := g.Set(k, 7, Demand{CPUUtil: 0.2}); err == nil {
+		t.Fatal("Set succeeded despite an unreleasable camera hold")
+	}
+	if got := m.CPUUtil(7); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("failed Set leaked into the meter: util %v, want 0.4", got)
+	}
+	if !g.Has(k) || g.Entries() != 1 {
+		t.Fatal("failed Set mutated the entry table")
+	}
+
+	if err := g.Clear(k); err == nil {
+		t.Fatal("Clear succeeded despite an unreleasable camera hold")
+	}
+	if got := m.CPUUtil(7); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("failed Clear leaked into the meter: util %v, want 0.4", got)
+	}
+	if !g.Has(k) || g.Entries() != 1 {
+		t.Fatal("failed Clear removed the entry")
+	}
+
+	// Re-sync the hold: the entry must still be fully operable.
+	if err := m.Hold(Camera, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Clear(k); err != nil {
+		t.Fatalf("Clear after re-sync: %v", err)
+	}
+	if g.Entries() != 0 || m.CPUUtil(7) != 0 {
+		t.Fatal("state not clean after recovered Clear")
+	}
+}
+
+func TestAggregatorAuditCleanOnHealthyState(t *testing.T) {
+	_, _, g := aggFixture(t)
+	k1, k2 := new(int), new(int)
+	if err := g.Set(k1, 7, Demand{CPUUtil: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Set(k2, 7, Demand{CPUUtil: 0.9}); err != nil { // clamps at the meter
+		t.Fatal(err)
+	}
+	if err := g.Set(new(int), 8, Demand{GPS: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Audit(); err != nil {
+		t.Fatalf("audit of healthy aggregator: %v", err)
+	}
+}
+
+func TestAggregatorAuditDetectsMeterDesync(t *testing.T) {
+	_, m, g := aggFixture(t)
+	if err := g.Set(new(int), 7, Demand{CPUUtil: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Audit(); err != nil {
+		t.Fatalf("clean audit failed: %v", err)
+	}
+	// A write that bypasses the aggregator breaks the meter-view
+	// invariant the audit asserts.
+	m.SetCPUUtil(7, 0.9)
+	if err := g.Audit(); err == nil {
+		t.Fatal("audit missed a meter write that bypassed the aggregator")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/activity"
 	"repro/internal/app"
+	"repro/internal/check"
 	"repro/internal/device"
 	"repro/internal/display"
 	"repro/internal/intent"
@@ -52,10 +53,22 @@ var worldTelemetry *telemetry.Recorder
 // detaches). A config that already carries its own recorder wins.
 func SetWorldTelemetry(rec *telemetry.Recorder) { worldTelemetry = rec }
 
+// worldChecks, when set, enables the runtime invariant checker on every
+// world NewWorld builds — the same CLI funnel as worldTelemetry. Every
+// built device gets its own Checker; only the options are shared.
+var worldChecks *check.Options
+
+// SetWorldChecks installs checker options on every subsequently built
+// world (nil detaches). A config that already carries its own wins.
+func SetWorldChecks(opts *check.Options) { worldChecks = opts }
+
 // NewWorld builds a device from cfg and installs the demo cast.
 func NewWorld(cfg device.Config) (*World, error) {
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = worldTelemetry
+	}
+	if cfg.Checks == nil {
+		cfg.Checks = worldChecks
 	}
 	dev, err := device.New(cfg)
 	if err != nil {

@@ -102,6 +102,9 @@ type Engine struct {
 	// traceErr holds a recovered tracer panic until the run loop in
 	// flight surfaces it.
 	traceErr *TracerPanicError
+	// failErr holds an injected failure (see Fail) until a run loop
+	// surfaces it.
+	failErr error
 }
 
 // Tracer is a registered trace callback. Close unregisters it.
@@ -191,6 +194,28 @@ func (e *Engine) Every(period Duration, name string, fn func()) *Ticker {
 // call clears the flag on entry and resumes from the current instant.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Fail halts the run loop like Stop, but makes the Run variant in
+// flight — or, when called between runs, the next one entered — return
+// err instead of ErrStopped. The first failure wins and Fail(nil) is a
+// no-op. It exists for invariant checkers and similar observers: a
+// failure detected inside event dispatch surfaces from RunUntil the
+// same way a tracer panic does.
+func (e *Engine) Fail(err error) {
+	if err == nil || e.failErr != nil {
+		return
+	}
+	e.failErr = err
+	e.stopped = true
+}
+
+// FailErr reports (and clears) a pending injected failure. Run variants
+// surface it automatically; only manual Step loops need it.
+func (e *Engine) FailErr() error {
+	err := e.failErr
+	e.failErr = nil
+	return err
+}
+
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports false when no events remain. If a tracer panics,
 // the event's callback is skipped, the engine stops, and the error is
@@ -259,6 +284,9 @@ func (e *Engine) RunUntil(horizon Time) error {
 	if horizon < e.now {
 		return fmt.Errorf("sim: horizon %v before now %v", horizon, e.now)
 	}
+	if err := e.FailErr(); err != nil {
+		return err
+	}
 	e.stopped = false
 	for !e.stopped {
 		next, ok := e.peek()
@@ -271,6 +299,9 @@ func (e *Engine) RunUntil(horizon Time) error {
 	if err := e.TraceErr(); err != nil {
 		return err
 	}
+	if err := e.FailErr(); err != nil {
+		return err
+	}
 	return ErrStopped
 }
 
@@ -281,10 +312,16 @@ func (e *Engine) RunFor(d Duration) error { return e.RunUntil(e.now.Add(d)) }
 // called, and an error if the queue never empties within maxEvents fires
 // (a guard against runaway self-rescheduling scenarios).
 func (e *Engine) Drain(maxEvents int) error {
+	if err := e.FailErr(); err != nil {
+		return err
+	}
 	e.stopped = false
 	for i := 0; ; i++ {
 		if e.stopped {
 			if err := e.TraceErr(); err != nil {
+				return err
+			}
+			if err := e.FailErr(); err != nil {
 				return err
 			}
 			return ErrStopped

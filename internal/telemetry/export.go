@@ -36,7 +36,7 @@ type traceFile struct {
 
 // tid lanes: one virtual thread per event kind, so Perfetto renders each
 // subsystem as its own track.
-var kindLanes = []Kind{KindSimEvent, KindLifecycle, KindPowerState, KindBattery, KindAttribution}
+var kindLanes = []Kind{KindSimEvent, KindLifecycle, KindPowerState, KindBattery, KindAttribution, KindViolation}
 
 // WriteTrace exports events as Chrome trace-event JSON. pid labels the
 // emitting process track (use the device index for fleets; 0 is fine for
@@ -92,6 +92,8 @@ func traceArgs(ev Event) map[string]any {
 		return map[string]any{"drained_j": ev.V0, "percent": ev.V1}
 	case KindAttribution:
 		return map[string]any{"uid": int64(ev.UID), "joules": ev.V0}
+	case KindViolation:
+		return map[string]any{"detail": ev.To, "got": ev.V0, "want": ev.V1}
 	}
 	return nil
 }
@@ -131,6 +133,9 @@ func WriteText(w io.Writer, events []Event) error {
 		case KindAttribution:
 			_, err = fmt.Fprintf(bw, "%v [attribution] uid=%d %sJ\n",
 				ev.T, ev.UID, formatFloat(ev.V0))
+		case KindViolation:
+			_, err = fmt.Fprintf(bw, "%v [violation] %s: %s (got %s, want %s)\n",
+				ev.T, ev.Name, ev.To, formatFloat(ev.V0), formatFloat(ev.V1))
 		default:
 			_, err = fmt.Fprintf(bw, "%v [%s] %s\n", ev.T, ev.Kind, ev.Name)
 		}

@@ -49,6 +49,9 @@ const (
 	// KindAttribution is one accounting attribution: energy from an
 	// accrued interval landing in an app's ledger.
 	KindAttribution
+	// KindViolation is one runtime invariant violation recorded by the
+	// check subsystem.
+	KindViolation
 )
 
 func (k Kind) String() string {
@@ -63,6 +66,8 @@ func (k Kind) String() string {
 		return "battery"
 	case KindAttribution:
 		return "attribution"
+	case KindViolation:
+		return "violation"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -80,6 +85,7 @@ func (k Kind) MarshalJSON() ([]byte, error) {
 //	KindPowerState:  V0 = old value, V1 = new value
 //	KindBattery:     V0 = joules drained this interval, V1 = battery %
 //	KindAttribution: V0 = joules attributed to UID this interval
+//	KindViolation:   Name = invariant, To = detail, V0/V1 = got/want
 type Event struct {
 	T    sim.Time `json:"t"`
 	Kind Kind     `json:"kind"`
@@ -129,6 +135,7 @@ type Recorder struct {
 	cPower     *Counter
 	cBattery   *Counter
 	cAttr      *Counter
+	cViolation *Counter
 
 	hMW   map[string]*Histogram  // per-component mW distributions
 	hUIDJ map[app.UID]*Histogram // per-UID attributed-J distributions
@@ -163,6 +170,7 @@ func New(opts Options) *Recorder {
 	r.cPower = r.metrics.Counter("hw.power_state_changes")
 	r.cBattery = r.metrics.Counter("hw.battery_updates")
 	r.cAttr = r.metrics.Counter("acct.attributions")
+	r.cViolation = r.metrics.Counter("check.violations")
 	return r
 }
 
@@ -276,6 +284,18 @@ func (r *Recorder) RecordAttribution(t sim.Time, uid app.UID, joules float64) {
 	}
 	h.Observe(joules)
 	r.append(Event{T: t, Kind: KindAttribution, Name: "attribution", UID: uid, V0: joules})
+}
+
+// RecordViolation records one invariant violation from the check
+// subsystem: invariant names the checker family, detail describes the
+// breach, got/want carry the compared quantities (zero when the breach
+// is structural rather than numeric).
+func (r *Recorder) RecordViolation(t sim.Time, invariant, detail string, got, want float64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.cViolation.Inc()
+	r.append(Event{T: t, Kind: KindViolation, Name: invariant, To: detail, V0: got, V1: want})
 }
 
 // ObserveComponentMW feeds one accrued interval's mean power draw for a
