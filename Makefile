@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-checked race vet fmt-check bench fleet-bench telemetry-bench check-bench fuzz-short clean
+.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench telemetry-bench check-bench fuzz-short clean
 
 all: build test
 
@@ -34,6 +34,12 @@ fmt-check:
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
+
+# Perf regression gate: rerun the fleet/telemetry/check studies at the
+# shape recorded in the committed BENCH_*.json artifacts and fail on any
+# >15% wall-clock regression (plus the studies' own overhead gates).
+bench-gate:
+	$(GO) run ./cmd/benchsuite -benchcmp
 
 # Regenerate the BENCH_fleet.json scaling artifact.
 fleet-bench:

@@ -11,6 +11,7 @@
 //	benchsuite -energy    # energy-efficiency check only
 //	benchsuite -fleet 64 -workers 8   # fleet scaling study -> BENCH_fleet.json
 //	benchsuite -telemetry             # overhead study -> BENCH_telemetry.json
+//	benchsuite -benchcmp              # rerun studies, compare against committed BENCH_*.json
 //	benchsuite -cpuprofile cpu.pprof -memprofile mem.pprof -micro
 package main
 
@@ -48,6 +49,7 @@ func run(args []string) error {
 	fleetN := fs.Int("fleet", 0, "run an N-device fleet scaling study")
 	workers := fs.Int("workers", 0, "fleet worker count (0 = GOMAXPROCS)")
 	fleetSeed := fs.Int64("fleet-seed", 42, "fleet seed (per-device seeds derive from it)")
+	fleetReps := fs.Int("fleet-reps", defaultFleetReps, "fleet study repetitions (min wall time per worker count)")
 	fleetOut := fs.String("fleet-out", "BENCH_fleet.json", "fleet artifact path (empty = don't write)")
 	telem := fs.Bool("telemetry", false, "run the telemetry overhead study")
 	telemReps := fs.Int("telemetry-reps", experiments.DefaultTelemetryReps, "telemetry study repetitions")
@@ -55,6 +57,7 @@ func run(args []string) error {
 	checkStudy := fs.Bool("check", false, "run the invariant checker overhead study")
 	checkReps := fs.Int("check-reps", experiments.DefaultCheckReps, "checker study repetitions")
 	checkOut := fs.String("check-out", "BENCH_check.json", "checker artifact path (empty = don't write)")
+	benchcmp := fs.Bool("benchcmp", false, "rerun the fleet/telemetry/check studies and fail on >15% wall-clock regression vs the committed BENCH_*.json")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +88,9 @@ func run(args []string) error {
 			}
 		}()
 	}
+	if *benchcmp {
+		return benchCompare()
+	}
 	if *telem {
 		return telemetryBench(*telemReps, *telemOut)
 	}
@@ -92,7 +98,7 @@ func run(args []string) error {
 		return checkBench(*checkReps, *checkOut)
 	}
 	if *fleetN > 0 {
-		return fleetBench(*fleetN, *workers, *fleetSeed, *fleetOut)
+		return fleetBench(*fleetN, *workers, *fleetSeed, *fleetReps, *fleetOut)
 	}
 	all := !*micro && !*antutuOnly && !*energy
 
@@ -121,8 +127,13 @@ func run(args []string) error {
 // fleetArtifact is the BENCH_fleet.json schema: one scaling record per
 // run, so successive PRs can track the fleet's perf trajectory.
 type fleetArtifact struct {
-	Devices       int           `json:"devices"`
-	Seed          int64         `json:"seed"`
+	Devices int   `json:"devices"`
+	Seed    int64 `json:"seed"`
+	// Cpus records the host parallelism the run had available. The
+	// speedup gate below only binds when the host could physically
+	// deliver it (Cpus >= workers); artifacts written on small hosts
+	// still carry honest wall-clock numbers for benchcmp.
+	Cpus          int           `json:"cpus"`
 	Runs          []fleetTiming `json:"runs"`
 	Speedup       float64       `json:"speedup"`
 	Deterministic bool          `json:"deterministic"`
@@ -141,75 +152,124 @@ type fleetNumbers struct {
 	Failed        int     `json:"failed"`
 }
 
-// fleetBench runs the stealth-attack fleet twice — serial, then with
-// the requested worker count — prints the aggregate, checks the two
-// renders match byte for byte, and records timings in BENCH_fleet.json.
-func fleetBench(devices, workers int, seed int64, outPath string) error {
+// fleetSpeedupGate is the parallel-efficiency floor: with the hot paths
+// allocation-free, an 8-worker run on a host with >=8 CPUs must beat the
+// serial run by at least this factor.
+const fleetSpeedupGate = 3.0
+
+// defaultFleetReps repeats each worker-count run and keeps the minimum
+// wall time, the same noise control the telemetry and check studies
+// use — a single ~30 ms run is at the mercy of scheduler luck, which is
+// exactly what the benchcmp regression gate must not be.
+const defaultFleetReps = 3
+
+// fleetBench runs the fleet study and records it in BENCH_fleet.json.
+func fleetBench(devices, workers int, seed int64, reps int, outPath string) error {
+	art, gateErr := fleetStudy(devices, workers, seed, reps)
+	if art.Devices == 0 { // study itself failed before producing numbers
+		return gateErr
+	}
+	if outPath != "" {
+		blob, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return gateErr
+}
+
+// fleetStudy runs the stealth-attack fleet serially and with the
+// requested worker count (reps times each, keeping the minimum wall
+// time), prints the aggregate, checks the renders match byte for byte,
+// and enforces the determinism and (when the host has the CPUs for it)
+// speedup gates. The artifact is returned even when a gate fails so
+// callers can still record the numbers.
+func fleetStudy(devices, workers int, seed int64, reps int) (fleetArtifact, error) {
+	if reps <= 0 {
+		reps = defaultFleetReps
+	}
 	type runOut struct {
 		timing  fleetTiming
 		render  string
 		numbers fleetNumbers
 	}
 	runAt := func(w int) (runOut, error) {
-		start := time.Now()
-		fr, err := experiments.FleetBenchStudy(devices, w, seed)
-		if err != nil {
-			return runOut{}, err
-		}
-		wall := time.Since(start)
-		for _, r := range fr.Results {
-			if r.Err != nil {
-				return runOut{}, fmt.Errorf("device %d: %w", r.Index, r.Err)
+		var out runOut
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			fr, err := experiments.FleetBenchStudy(devices, w, seed)
+			if err != nil {
+				return runOut{}, err
+			}
+			wall := time.Since(start)
+			for _, r := range fr.Results {
+				if r.Err != nil {
+					return runOut{}, fmt.Errorf("device %d: %w", r.Index, r.Err)
+				}
+			}
+			ms := float64(wall.Microseconds()) / 1000
+			if rep == 0 {
+				out = runOut{
+					timing: fleetTiming{Workers: fr.Workers, WallMS: ms},
+					render: fr.Render(),
+					numbers: fleetNumbers{
+						TotalDrainedJ: fr.Summary.TotalDrainedJ,
+						Attacks:       fr.Summary.Attacks,
+						DetectionRate: fr.Summary.DetectionRate(),
+						Failed:        fr.Summary.Failed,
+					},
+				}
+				continue
+			}
+			if render := fr.Render(); render != out.render {
+				return runOut{}, fmt.Errorf("fleet render differs between reps at %d workers — determinism bug", w)
+			}
+			if ms < out.timing.WallMS {
+				out.timing.WallMS = ms
 			}
 		}
-		return runOut{
-			timing: fleetTiming{Workers: fr.Workers, WallMS: float64(wall.Microseconds()) / 1000},
-			render: fr.Render(),
-			numbers: fleetNumbers{
-				TotalDrainedJ: fr.Summary.TotalDrainedJ,
-				Attacks:       fr.Summary.Attacks,
-				DetectionRate: fr.Summary.DetectionRate(),
-				Failed:        fr.Summary.Failed,
-			},
-		}, nil
+		return out, nil
 	}
 
 	serial, err := runAt(1)
 	if err != nil {
-		return err
+		return fleetArtifact{}, err
 	}
 	parallel, err := runAt(workers)
 	if err != nil {
-		return err
+		return fleetArtifact{}, err
 	}
 	fmt.Println(parallel.render)
 
 	art := fleetArtifact{
 		Devices:       devices,
 		Seed:          seed,
+		Cpus:          runtime.NumCPU(),
 		Runs:          []fleetTiming{serial.timing, parallel.timing},
 		Speedup:       serial.timing.WallMS / parallel.timing.WallMS,
 		Deterministic: serial.render == parallel.render,
 		Summary:       parallel.numbers,
 	}
-	fmt.Printf("fleet: %d devices, workers %d vs 1: %.1fms vs %.1fms (%.2fx), deterministic=%v\n",
+	fmt.Printf("fleet: %d devices, workers %d vs 1: %.1fms vs %.1fms (%.2fx), deterministic=%v, cpus=%d\n",
 		devices, parallel.timing.Workers, parallel.timing.WallMS, serial.timing.WallMS,
-		art.Speedup, art.Deterministic)
+		art.Speedup, art.Deterministic, art.Cpus)
 	if !art.Deterministic {
-		return fmt.Errorf("fleet aggregate differs between worker counts — determinism bug")
+		return art, fmt.Errorf("fleet aggregate differs between worker counts — determinism bug")
 	}
-	if outPath == "" {
-		return nil
+	if art.Cpus >= parallel.timing.Workers {
+		if art.Speedup < fleetSpeedupGate {
+			return art, fmt.Errorf("fleet speedup gate failed: %.2fx < %.1fx with %d workers on %d CPUs",
+				art.Speedup, fleetSpeedupGate, parallel.timing.Workers, art.Cpus)
+		}
+	} else {
+		fmt.Printf("speedup gate (>=%.1fx) not binding: %d workers on a %d-CPU host cannot run in parallel\n",
+			fleetSpeedupGate, parallel.timing.Workers, art.Cpus)
 	}
-	blob, err := json.MarshalIndent(art, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", outPath)
-	return nil
+	return art, nil
 }
 
 // telemetryArtifact is the BENCH_telemetry.json schema: the measured
@@ -239,12 +299,32 @@ const (
 	disabledGatePct = 1.0
 )
 
-// telemetryBench runs the overhead study, prints it, checks the gates
-// and records the floors in BENCH_telemetry.json.
+// telemetryBench runs the overhead study and records the floors in
+// BENCH_telemetry.json.
 func telemetryBench(reps int, outPath string) error {
+	art, gateErr := telemetryStudy(reps)
+	if art.Reps == 0 {
+		return gateErr
+	}
+	if outPath != "" {
+		blob, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return gateErr
+}
+
+// telemetryStudy runs the overhead study, prints it and checks the
+// gates. The artifact is returned even when a gate fails.
+func telemetryStudy(reps int) (telemetryArtifact, error) {
 	res, err := experiments.TelemetryOverheadStudy(reps)
 	if err != nil {
-		return err
+		return telemetryArtifact{}, err
 	}
 	fmt.Println(res.Render())
 
@@ -265,21 +345,11 @@ func telemetryBench(reps int, outPath string) error {
 	fmt.Printf("gates: disabled %.2f%% <= %.0f%% pass=%v, enabled %.2f%% <= %.0f%% pass=%v\n",
 		art.DisabledOverheadPc, disabledGatePct, art.DisabledGatePass,
 		art.EnabledOverheadPc, enabledGatePct, art.EnabledGatePass)
-	if outPath != "" {
-		blob, err := json.MarshalIndent(art, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", outPath)
-	}
 	if !art.DisabledGatePass || !art.EnabledGatePass {
-		return fmt.Errorf("telemetry overhead gate failed (disabled %+.2f%%, enabled %+.2f%%)",
+		return art, fmt.Errorf("telemetry overhead gate failed (disabled %+.2f%%, enabled %+.2f%%)",
 			art.DisabledOverheadPc, art.EnabledOverheadPc)
 	}
-	return nil
+	return art, nil
 }
 
 // checkArtifact is the BENCH_check.json schema: the invariant checker's
@@ -304,14 +374,34 @@ type checkArtifact struct {
 // unchecked baseline to keep its always-available default honest.
 const checkGatePct = 5.0
 
-// checkBench runs the checker overhead study, prints it, checks the
-// gate and records the floors in BENCH_check.json. A nonzero violation
-// count is itself a failure: the study doubles as a long-horizon
-// invariant sweep.
+// checkBench runs the checker overhead study and records the floors in
+// BENCH_check.json.
 func checkBench(reps int, outPath string) error {
+	art, gateErr := checkStudyRun(reps)
+	if art.Reps == 0 {
+		return gateErr
+	}
+	if outPath != "" {
+		blob, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return gateErr
+}
+
+// checkStudyRun runs the checker overhead study, prints it and checks
+// the gate. A nonzero violation count is itself a failure: the study
+// doubles as a long-horizon invariant sweep. The artifact is returned
+// even when a gate fails.
+func checkStudyRun(reps int) (checkArtifact, error) {
 	res, err := experiments.CheckOverheadStudy(reps)
 	if err != nil {
-		return err
+		return checkArtifact{}, err
 	}
 	fmt.Println(res.Render())
 
@@ -329,25 +419,114 @@ func checkBench(reps int, outPath string) error {
 	}
 	fmt.Printf("gates: enabled %.2f%% <= %.0f%% pass=%v, differential %.2f%% (reported, not gated)\n",
 		art.EnabledOverheadPc, checkGatePct, art.EnabledGatePass, art.DifferentialOverheadPc)
-	if outPath != "" {
-		blob, err := json.MarshalIndent(art, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", outPath)
-	}
 	if art.EnabledViolations != 0 || art.DifferentialViolations != 0 {
-		return fmt.Errorf("checker found %d passive / %d differential violations during the overhead study",
+		return art, fmt.Errorf("checker found %d passive / %d differential violations during the overhead study",
 			art.EnabledViolations, art.DifferentialViolations)
 	}
 	if !art.EnabledGatePass {
-		return fmt.Errorf("checker overhead gate failed (enabled %+.2f%% > %.0f%%)",
+		return art, fmt.Errorf("checker overhead gate failed (enabled %+.2f%% > %.0f%%)",
 			art.EnabledOverheadPc, checkGatePct)
 	}
+	return art, nil
+}
+
+// benchRegressionPct is the wall-clock regression budget benchcmp
+// tolerates against the committed artifacts before failing.
+const benchRegressionPct = 15.0
+
+// readArtifact loads a committed BENCH_*.json file.
+func readArtifact(path string, v any) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchcmp: %w (regenerate it with the matching study flag first)", err)
+	}
+	if err := json.Unmarshal(blob, v); err != nil {
+		return fmt.Errorf("benchcmp: %s: %w", path, err)
+	}
 	return nil
+}
+
+// benchCompare reruns the fleet, telemetry and checker studies at the
+// shape recorded in the committed BENCH_*.json artifacts and fails when
+// any wall-clock number regressed by more than benchRegressionPct. The
+// committed files are not rewritten — this is the CI regression gate,
+// not the regeneration path.
+func benchCompare() error {
+	var regressions []string
+	compare := func(name string, fresh, committed float64) {
+		if committed <= 0 {
+			return
+		}
+		pct := (fresh - committed) / committed * 100
+		status := "ok"
+		if pct > benchRegressionPct {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1fms vs committed %.1fms (%+.1f%% > +%.0f%%)",
+				name, fresh, committed, pct, benchRegressionPct))
+		}
+		fmt.Printf("benchcmp: %-24s %9.1fms vs %9.1fms committed  %+6.1f%%  %s\n",
+			name, fresh, committed, pct, status)
+	}
+
+	var oldFleet fleetArtifact
+	if err := readArtifact("BENCH_fleet.json", &oldFleet); err != nil {
+		return err
+	}
+	if len(oldFleet.Runs) == 0 {
+		return fmt.Errorf("benchcmp: BENCH_fleet.json has no runs")
+	}
+	newFleet, err := fleetStudy(oldFleet.Devices, oldFleet.Runs[len(oldFleet.Runs)-1].Workers, oldFleet.Seed, defaultFleetReps)
+	if err != nil {
+		return err
+	}
+	for _, nr := range newFleet.Runs {
+		for _, or := range oldFleet.Runs {
+			if or.Workers == nr.Workers {
+				compare(fmt.Sprintf("fleet/%dworkers", nr.Workers), nr.WallMS, or.WallMS)
+			}
+		}
+	}
+
+	var oldTelem telemetryArtifact
+	if err := readArtifact("BENCH_telemetry.json", &oldTelem); err != nil {
+		return err
+	}
+	newTelem, err := telemetryStudy(oldTelem.Reps)
+	if err != nil {
+		return err
+	}
+	compare("telemetry/baseline", newTelem.BaselineMS, oldTelem.BaselineMS)
+	compare("telemetry/enabled", newTelem.EnabledMS, oldTelem.EnabledMS)
+
+	var oldCheck checkArtifact
+	if err := readArtifact("BENCH_check.json", &oldCheck); err != nil {
+		return err
+	}
+	newCheck, err := checkStudyRun(oldCheck.Reps)
+	if err != nil {
+		return err
+	}
+	compare("check/baseline", newCheck.BaselineMS, oldCheck.BaselineMS)
+	compare("check/enabled", newCheck.EnabledMS, oldCheck.EnabledMS)
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchcmp: %d wall-clock regression(s):\n  %s",
+			len(regressions), joinLines(regressions))
+	}
+	fmt.Println("benchcmp: no wall-clock regressions")
+	return nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
 }
 
 // energyParity reruns scene #1 with and without E-Android and reports

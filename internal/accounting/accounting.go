@@ -57,7 +57,11 @@ type Accountant struct {
 	policy     Policy
 	foreground app.UID
 
-	own     map[app.UID]hw.Usage
+	// own is the cumulative per-app ledger, kept dense: Accrue folds the
+	// meter's borrowed interval table straight into it, row by row, with
+	// no per-interval map or key-sort work. Nothing from the interval is
+	// retained, honoring the sink borrow contract.
+	own     *hw.UsageTable
 	screenJ float64 // BatteryStats separate bucket
 	systemJ float64
 
@@ -79,7 +83,7 @@ func New(policy Policy) (*Accountant, error) {
 	return &Accountant{
 		policy:     policy,
 		foreground: app.UIDNone,
-		own:        make(map[app.UID]hw.Usage),
+		own:        hw.NewUsageTable(),
 		fgTime:     make(map[app.UID]time.Duration),
 	}, nil
 }
@@ -108,14 +112,9 @@ func (a *Accountant) Accrue(iv hw.Interval) {
 	if iv.ScreenJ > 0 {
 		a.screenOnTime += iv.Duration()
 	}
-	for uid, u := range iv.PerUID {
-		dst := a.own[uid]
-		if dst == nil {
-			dst = make(hw.Usage)
-			a.own[uid] = dst
-		}
-		dst.Add(u)
-	}
+	iv.EachApp(func(uid app.UID, row *hw.UsageRow) {
+		a.own.Row(uid).AddRow(row)
+	})
 	a.systemJ += iv.SystemJ
 	if iv.ScreenJ == 0 {
 		return
@@ -128,27 +127,18 @@ func (a *Accountant) Accrue(iv hw.Interval) {
 			a.screenJ += iv.ScreenJ
 			return
 		}
-		dst := a.own[a.foreground]
-		if dst == nil {
-			dst = make(hw.Usage)
-			a.own[a.foreground] = dst
-		}
-		dst[hw.Screen] += iv.ScreenJ
+		a.own.Row(a.foreground).Add(hw.Screen, iv.ScreenJ)
 	}
 }
 
 // observeInterval records one attribution event per app charged in the
-// interval, iterating in sorted UID order so the event stream (and the
-// per-UID energy distributions it feeds) is deterministic.
+// interval. The interval table already iterates in sorted UID order, so
+// the event stream (and the per-UID energy distributions it feeds) is
+// deterministic with no per-interval key collection or sort.
 func (a *Accountant) observeInterval(iv hw.Interval) {
-	uids := make([]app.UID, 0, len(iv.PerUID))
-	for uid := range iv.PerUID {
-		uids = append(uids, uid)
-	}
-	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
-	for _, uid := range uids {
-		a.tel.RecordAttribution(iv.To, uid, iv.PerUID[uid].Total())
-	}
+	iv.EachApp(func(uid app.UID, row *hw.UsageRow) {
+		a.tel.RecordAttribution(iv.To, uid, row.Total())
+	})
 	if iv.ScreenJ > 0 {
 		screenUID := app.UIDScreen
 		if a.policy == PowerTutor && a.foreground != app.UIDNone {
@@ -162,15 +152,21 @@ func (a *Accountant) observeInterval(iv hw.Interval) {
 }
 
 // AppJ reports the energy attributed to one app under the policy.
-func (a *Accountant) AppJ(uid app.UID) float64 { return a.own[uid].Total() }
+func (a *Accountant) AppJ(uid app.UID) float64 {
+	row := a.own.Get(uid)
+	if row == nil {
+		return 0
+	}
+	return row.Total()
+}
 
 // AppUsage returns a copy of the per-component energy attributed to uid.
 func (a *Accountant) AppUsage(uid app.UID) hw.Usage {
-	u := a.own[uid]
-	if u == nil {
+	row := a.own.Get(uid)
+	if row == nil {
 		return hw.Usage{}
 	}
-	return u.Clone()
+	return row.Usage()
 }
 
 // ForegroundTime reports how long uid has held the foreground.
@@ -188,12 +184,11 @@ func (a *Accountant) ScreenJ() float64 { return a.screenJ }
 // SystemJ reports platform base energy.
 func (a *Accountant) SystemJ() float64 { return a.systemJ }
 
-// TotalJ reports all energy seen by the accountant.
+// TotalJ reports all energy seen by the accountant, summed in a fixed
+// order (screen, system, then ascending UID).
 func (a *Accountant) TotalJ() float64 {
 	t := a.screenJ + a.systemJ
-	for _, u := range a.own {
-		t += u.Total()
-	}
+	t += a.own.TotalJ()
 	return t
 }
 
@@ -201,10 +196,10 @@ func (a *Accountant) TotalJ() float64 {
 // pseudo-entry (when its bucket is non-empty) and the System entry,
 // sorted by descending energy then ascending UID for determinism.
 func (a *Accountant) Entries() []Entry {
-	out := make([]Entry, 0, len(a.own)+2)
-	for uid, u := range a.own {
-		out = append(out, Entry{UID: uid, Usage: u.Clone(), TotalJ: u.Total()})
-	}
+	out := make([]Entry, 0, a.own.Len()+2)
+	a.own.Each(func(uid app.UID, row *hw.UsageRow) {
+		out = append(out, Entry{UID: uid, Usage: row.Usage(), TotalJ: row.Total()})
+	})
 	if a.screenJ > 0 {
 		out = append(out, Entry{
 			UID:    app.UIDScreen,

@@ -90,11 +90,11 @@ func (s *SampledAccountant) sample() {
 // the defining approximation of a sampling profiler: state changes
 // inside the span are invisible.
 func (s *SampledAccountant) accrueSpan(secs float64) {
-	for _, a := range s.pm.Apps() {
+	s.pm.EachApp(func(a *app.App) {
 		if p := s.meter.InstantAppPowerMW(a.UID); p > 0 {
 			s.appJ[a.UID] += p / 1000 * secs
 		}
-	}
+	})
 	s.screenJ += s.meter.InstantScreenPowerMW() / 1000 * secs
 	s.systemJ += s.meter.InstantSystemPowerMW() / 1000 * secs
 }

@@ -48,7 +48,7 @@ type Alarm struct {
 	In    intent.Intent
 	At    sim.Time
 
-	event *sim.Event
+	event sim.Handle
 	fired bool
 	err   error
 }

@@ -9,7 +9,6 @@ package app
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/manifest"
 )
@@ -32,6 +31,16 @@ const (
 // FirstAppUID is the first UID handed to an installed package, mirroring
 // Android's 10000+ app UID range.
 const FirstAppUID UID = 10000
+
+// Slot maps an app UID onto the small dense index the package manager
+// assigned it (0 for the first install). UIDs are handed out
+// sequentially from FirstAppUID, so installed apps occupy a compact
+// integer range — the property the hot-path energy tables (hw.UsageTable
+// and the meter's per-UID state) index by instead of hashing.
+func Slot(uid UID) int { return int(uid - FirstAppUID) }
+
+// FromSlot inverts Slot.
+func FromSlot(slot int) UID { return FirstAppUID + UID(slot) }
 
 // Workload describes the hardware demand of one component while it is
 // active. Utilization values are fractions of one CPU core in [0, 1].
@@ -159,6 +168,12 @@ type PackageManager struct {
 	byPkg  map[string]*App
 	nextID UID
 
+	// list caches the installed apps in ascending UID order. Installs
+	// append (UIDs are assigned monotonically, so append preserves the
+	// order) and uninstalls splice, which makes EachApp an allocation-
+	// free iteration — samplers poll it every virtual second.
+	list []*App
+
 	uninstallHooks []func(*App)
 	// tombstones keeps display labels for uninstalled packages so
 	// battery views can still name them in historical rows.
@@ -188,6 +203,7 @@ func (pm *PackageManager) Install(m *manifest.Manifest) (*App, error) {
 	pm.nextID++
 	pm.byUID[a.UID] = a
 	pm.byPkg[m.Package] = a
+	pm.list = append(pm.list, a)
 	return a, nil
 }
 
@@ -232,6 +248,12 @@ func (pm *PackageManager) Uninstall(pkg string) error {
 	a.Kill()
 	delete(pm.byPkg, pkg)
 	delete(pm.byUID, a.UID)
+	for i, cached := range pm.list {
+		if cached == a {
+			pm.list = append(pm.list[:i], pm.list[i+1:]...)
+			break
+		}
+	}
 	pm.tombstones[a.UID] = a.Label()
 	for _, fn := range pm.uninstallHooks {
 		fn(a)
@@ -245,14 +267,21 @@ func (pm *PackageManager) ByUID(uid UID) *App { return pm.byUID[uid] }
 // ByPackage returns the app with the given package name, or nil.
 func (pm *PackageManager) ByPackage(pkg string) *App { return pm.byPkg[pkg] }
 
-// Apps returns all installed apps sorted by UID.
+// Apps returns all installed apps sorted by UID. The slice is a fresh
+// copy; hot paths that only iterate should use EachApp, which walks the
+// cached order without allocating.
 func (pm *PackageManager) Apps() []*App {
-	out := make([]*App, 0, len(pm.byUID))
-	for _, a := range pm.byUID {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
+	out := make([]*App, len(pm.list))
+	copy(out, pm.list)
 	return out
+}
+
+// EachApp calls fn for every installed app in ascending UID order,
+// without allocating. fn must not install or uninstall packages.
+func (pm *PackageManager) EachApp(fn func(*App)) {
+	for _, a := range pm.list {
+		fn(a)
+	}
 }
 
 // Label resolves a UID to a display label, understanding pseudo-UIDs.

@@ -35,7 +35,6 @@ package check
 import (
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"repro/internal/accounting"
@@ -366,18 +365,10 @@ func (c *Checker) Accrue(iv hw.Interval) {
 }
 
 // intervalSum adds up everything the interval attributes: per-UID usage
-// (in sorted UID order, so the sum is reproducible), screen and system.
+// (the dense table iterates in sorted UID order, so the sum is
+// reproducible without re-collecting keys), screen and system.
 func intervalSum(iv hw.Interval) float64 {
-	uids := make([]app.UID, 0, len(iv.PerUID))
-	for uid := range iv.PerUID {
-		uids = append(uids, uid)
-	}
-	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
-	total := 0.0
-	for _, uid := range uids {
-		total += iv.PerUID[uid].Total()
-	}
-	return total + iv.ScreenJ + iv.SystemJ
+	return iv.AppsTotalJ() + iv.ScreenJ + iv.SystemJ
 }
 
 func abs(x float64) float64 {

@@ -122,8 +122,10 @@ func mutatedDevice(t *testing.T, opts check.Options) (*device.Device, *check.Che
 		t.Fatal(err)
 	}
 	dev.Meter.AddSink(hw.SinkFunc(func(iv hw.Interval) {
-		if iv.PerUID != nil && iv.Duration() > 0 {
-			iv.PerUID[9999] = hw.Usage{hw.CPU: 0.5}
+		if iv.Duration() > 0 {
+			// Rows on a borrowed interval mutate the shared table — the
+			// corruption the checker must catch.
+			iv.Row(9999).Add(hw.CPU, 0.5)
 		}
 	}))
 	ck, err := check.New(opts, check.Deps{

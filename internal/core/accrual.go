@@ -68,66 +68,83 @@ func (m *Monitor) ChargePolicy() ChargePolicy {
 // victim) never double-charge the same driving app.
 func (m *Monitor) Accrue(iv hw.Interval) {
 	// Raw own-energy bookkeeping for the revised battery views runs in
-	// every mode that has the sink attached.
-	for uid, u := range iv.PerUID {
-		m.ownJ[uid] += u.Total()
-	}
+	// every mode that has the sink attached. Nothing from the borrowed
+	// interval is retained.
+	iv.EachApp(func(uid app.UID, row *hw.UsageRow) {
+		m.ownJ[uid] += row.Total()
+	})
 	m.screenJ += iv.ScreenJ
 
 	if m.mode != Complete || len(m.activeByDriven) == 0 {
 		return
 	}
 
-	// Deterministic driven order.
-	drivens := make([]app.UID, 0, len(m.activeByDriven))
+	// Deterministic driven order, via a reusable scratch slice — this
+	// path runs on every integrated interval for as long as any attack
+	// is active, which in the stealth fleet bench is most of the run.
+	drivens := m.drivenScratch[:0]
 	for d := range m.activeByDriven {
 		drivens = append(drivens, d)
 	}
 	sort.Slice(drivens, func(i, j int) bool { return drivens[i] < drivens[j] })
+	m.drivenScratch = drivens
 
-	type pair struct{ g, d app.UID }
-	charged := make(map[pair]bool)
+	if m.chargedScratch == nil {
+		m.chargedScratch = make(map[chargePair]bool)
+	} else {
+		clear(m.chargedScratch)
+	}
+	charged := m.chargedScratch
 
 	for _, d := range drivens {
 		var delta float64
 		if d == app.UIDScreen {
 			delta = iv.ScreenJ
 		} else {
-			delta = iv.PerUID[d].Total()
+			delta = iv.AppJ(d)
 		}
 		if delta == 0 {
 			continue
 		}
 		// Every direct driver and every transitive ancestor is charged
 		// once.
-		beneficiaries := map[app.UID]bool{}
+		if m.benefScratch == nil {
+			m.benefScratch = make(map[app.UID]bool)
+		} else {
+			clear(m.benefScratch)
+		}
+		beneficiaries := m.benefScratch
 		for _, a := range m.activeByDriven[d] {
 			beneficiaries[a.Driving] = true
 			for _, anc := range m.ancestorsOf(a.Driving) {
 				beneficiaries[anc] = true
 			}
 		}
-		order := make([]app.UID, 0, len(beneficiaries))
+		order := m.orderScratch[:0]
 		for g := range beneficiaries {
 			if g != d {
 				order = append(order, g)
 			}
 		}
 		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		m.orderScratch = order
 		share := delta
 		if m.ChargePolicy() == ChargeSplit && len(order) > 0 {
 			share = delta / float64(len(order))
 		}
 		for _, g := range order {
-			if charged[pair{g, d}] {
+			if charged[chargePair{g, d}] {
 				continue
 			}
-			charged[pair{g, d}] = true
+			charged[chargePair{g, d}] = true
 			m.ensureEntry(g, d)
 			m.maps[g][d].EnergyJ += share
 		}
 	}
 }
+
+// chargePair keys the per-interval (beneficiary, driven) dedup set.
+type chargePair struct{ g, d app.UID }
 
 // CollateralMap returns the driving app's collateral energy map entries,
 // sorted by descending energy then driven UID.

@@ -83,6 +83,15 @@ type Monitor struct {
 	// ended-attack history (live attacks are never dropped). Zero keeps
 	// everything — fine for experiments, not for week-long soaks.
 	historyLimit int
+
+	// Accrue's reusable per-interval scratch: while attacks are active
+	// the superimposition pass runs on every integrated interval, and
+	// rebuilding these from scratch each time dominated the monitor's
+	// allocation profile.
+	drivenScratch  []app.UID
+	orderScratch   []app.UID
+	chargedScratch map[chargePair]bool
+	benefScratch   map[app.UID]bool
 }
 
 // NewMonitor builds an E-Android monitor in the given mode. Wire it with

@@ -29,9 +29,9 @@ func wbFixture(t *testing.T) (*sim.Engine, *app.PackageManager, *Monitor, [3]app
 }
 
 func interval(perUID map[app.UID]float64, screenJ float64) hw.Interval {
-	iv := hw.Interval{PerUID: make(map[app.UID]hw.Usage), ScreenJ: screenJ}
+	iv := hw.Interval{ScreenJ: screenJ}
 	for uid, j := range perUID {
-		iv.PerUID[uid] = hw.Usage{hw.CPU: j}
+		iv.Row(uid).Add(hw.CPU, j)
 	}
 	return iv
 }

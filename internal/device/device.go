@@ -66,6 +66,11 @@ type Config struct {
 	// touching call sites. Like a telemetry recorder, a checker is
 	// single-goroutine: one per device.
 	Checks *check.Options
+	// Events, when non-nil, is the kernel event arena this device's
+	// engine recycles through. Pools are single-goroutine: share one
+	// only across devices run sequentially on the same goroutine (a
+	// fleet worker), never across concurrent devices.
+	Events *sim.EventPool
 }
 
 // Device is a fully wired simulated smartphone.
@@ -136,6 +141,9 @@ func New(cfg Config) (*Device, error) {
 	}
 
 	engine := sim.NewEngine(cfg.Seed)
+	if cfg.Events != nil {
+		engine.SetEventPool(cfg.Events)
+	}
 	battery, err := hw.NewBattery(cfg.BatteryJ)
 	if err != nil {
 		return nil, err

@@ -214,9 +214,15 @@ func Run(ctx context.Context, spec Spec) (*FleetResult, error) {
 		go func(w int) {
 			defer wg.Done()
 			stats[w].Worker = w
+			// One event arena per worker: devices on this goroutine run
+			// strictly sequentially, so each reuses its predecessor's
+			// kernel Event allocations instead of growing a fresh heap
+			// for the GC to sweep — the cross-worker GC pressure that
+			// serialized high worker counts.
+			pool := sim.NewEventPool()
 			for i := range jobs {
 				start := time.Now()
-				results[i] = runDevice(ctx, spec, i)
+				results[i] = runDevice(ctx, spec, i, pool)
 				stats[w].Busy += time.Since(start)
 				stats[w].Devices++
 			}
@@ -267,8 +273,9 @@ dispatch:
 }
 
 // runDevice builds, scripts, runs and harvests one device, converting
-// panics into errors so a bad scenario cannot take down the pool.
-func runDevice(ctx context.Context, spec Spec, i int) (res Result) {
+// panics into errors so a bad scenario cannot take down the pool. pool
+// is the calling worker's private event arena (may be nil).
+func runDevice(ctx context.Context, spec Spec, i int, pool *sim.EventPool) (res Result) {
 	res = Result{Index: i, Seed: DeviceSeed(spec.Seed, i)}
 	defer func() {
 		if r := recover(); r != nil {
@@ -283,6 +290,7 @@ func runDevice(ctx context.Context, spec Spec, i int) (res Result) {
 
 	cfg := spec.Config
 	cfg.Seed = res.Seed
+	cfg.Events = pool
 	if spec.Telemetry != nil {
 		// One recorder per device: recorders are single-goroutine, and
 		// per-device registries are what make the merged snapshot

@@ -312,7 +312,7 @@ func TestTracerPanicMarksDeviceFailed(t *testing.T) {
 			return err
 		}
 		if i == 1 {
-			dev.Engine.Trace(func(sim.Time, string) { panic("tracer boom") })
+			dev.Engine.Trace(func(sim.Time, string, int) { panic("tracer boom") })
 			// The attack scenario mutates state synchronously, so give
 			// the tracer a kernel event to fire on inside the horizon.
 			dev.Engine.After(time.Second, "bait", func() {})

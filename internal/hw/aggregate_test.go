@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/app"
 	"repro/internal/sim"
 )
 
@@ -143,9 +144,9 @@ func TestAggregatorEnergyFlow(t *testing.T) {
 	e, m, g := aggFixture(t)
 	var cpuJ float64
 	m.AddSink(SinkFunc(func(iv Interval) {
-		for _, u := range iv.PerUID {
-			cpuJ += u[CPU]
-		}
+		iv.EachApp(func(_ app.UID, u *UsageRow) {
+			cpuJ += u.J(CPU)
+		})
 	}))
 	k := new(int)
 	_ = g.Set(k, 5, Demand{CPUUtil: 0.5})

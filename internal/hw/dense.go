@@ -1,0 +1,286 @@
+package hw
+
+import (
+	"sort"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+)
+
+// UsageRow is per-component energy in joules attributed to one app,
+// stored densely (index Component-1). It replaces the map[Component]
+// representation on the metering hot path: a row is a fixed-size value,
+// so accruing into one allocates nothing.
+type UsageRow [numComponents]float64
+
+// J reports the energy recorded for component c.
+func (r *UsageRow) J(c Component) float64 {
+	if c < CPU || c > Audio {
+		return 0
+	}
+	return r[c-1]
+}
+
+// Add accumulates j joules for component c. Components outside the
+// known range are dropped, mirroring what a map write to an invalid key
+// would have tracked (nothing the Total below ever read).
+func (r *UsageRow) Add(c Component, j float64) {
+	if c < CPU || c > Audio {
+		return
+	}
+	r[c-1] += j
+}
+
+// AddRow accumulates other into r in fixed component order.
+func (r *UsageRow) AddRow(other *UsageRow) {
+	for i := range other {
+		r[i] += other[i]
+	}
+}
+
+// Total sums the row across components. Like Usage.Total, summation runs
+// in fixed component order, so results are bit-deterministic; the zero
+// entries a map would have omitted add exactly 0.0 and leave every
+// partial sum unchanged.
+func (r *UsageRow) Total() float64 {
+	var t float64
+	for i := range r {
+		t += r[i]
+	}
+	return t
+}
+
+// Usage converts the row to the map representation used by cold-path
+// APIs, keeping only non-zero components (the keys a map-built row would
+// have held).
+func (r *UsageRow) Usage() Usage {
+	u := make(Usage)
+	for i, j := range r {
+		if j != 0 {
+			u[Component(i+1)] = j
+		}
+	}
+	return u
+}
+
+// UsageTable is a dense UID-indexed table of usage rows: the hot-path
+// replacement for map[app.UID]Usage. Rows live in one contiguous slice
+// indexed by uid-base (the small-int slot registry of internal/app maps
+// installed apps onto exactly this kind of dense range), and the active
+// UID set is maintained as a sorted slice, so per-interval consumers get
+// sorted deterministic iteration without re-collecting and re-sorting
+// keys. Reset keeps the backing storage, so a reused table allocates
+// nothing in steady state.
+type UsageTable struct {
+	base app.UID
+	rows []UsageRow
+	live []bool
+	uids []app.UID // sorted active UIDs
+}
+
+// NewUsageTable returns an empty table. The slot range starts at
+// app.FirstAppUID (the common case); rows for smaller UIDs shift the
+// base down on first touch.
+func NewUsageTable() *UsageTable {
+	return &UsageTable{base: app.FirstAppUID}
+}
+
+// Reset deactivates every row, keeping capacity for reuse.
+func (t *UsageTable) Reset() {
+	for _, uid := range t.uids {
+		i := int(uid - t.base)
+		t.rows[i] = UsageRow{}
+		t.live[i] = false
+	}
+	t.uids = t.uids[:0]
+}
+
+// slot grows the dense range to cover uid and returns its index.
+func (t *UsageTable) slot(uid app.UID) int {
+	if uid < t.base {
+		shift := int(t.base - uid)
+		rows := make([]UsageRow, shift+len(t.rows))
+		copy(rows[shift:], t.rows)
+		live := make([]bool, shift+len(t.live))
+		copy(live[shift:], t.live)
+		t.rows, t.live, t.base = rows, live, uid
+	}
+	i := int(uid - t.base)
+	if i >= len(t.rows) {
+		if i >= cap(t.rows) {
+			rows := make([]UsageRow, i+1, 2*(i+1))
+			copy(rows, t.rows)
+			live := make([]bool, i+1, 2*(i+1))
+			copy(live, t.live)
+			t.rows, t.live = rows, live
+		} else {
+			t.rows = t.rows[:i+1]
+			t.live = t.live[:i+1]
+		}
+	}
+	return i
+}
+
+// Row returns uid's row, activating it (and inserting uid into the
+// sorted active set) on first touch since the last Reset.
+func (t *UsageTable) Row(uid app.UID) *UsageRow {
+	i := t.slot(uid)
+	if !t.live[i] {
+		t.live[i] = true
+		t.insert(uid)
+	}
+	return &t.rows[i]
+}
+
+// insert adds uid to the sorted active set. Appends dominate: the meter
+// walks its live UIDs in ascending order, so insertion is almost always
+// at the tail.
+func (t *UsageTable) insert(uid app.UID) {
+	n := len(t.uids)
+	if n == 0 || uid > t.uids[n-1] {
+		t.uids = append(t.uids, uid)
+		return
+	}
+	j := sort.Search(n, func(k int) bool { return t.uids[k] >= uid })
+	t.uids = append(t.uids, 0)
+	copy(t.uids[j+1:], t.uids[j:])
+	t.uids[j] = uid
+}
+
+// Get returns uid's row, or nil when uid is not active.
+func (t *UsageTable) Get(uid app.UID) *UsageRow {
+	if t == nil || uid < t.base {
+		return nil
+	}
+	i := int(uid - t.base)
+	if i >= len(t.rows) || !t.live[i] {
+		return nil
+	}
+	return &t.rows[i]
+}
+
+// UIDs returns the active UIDs in ascending order. The slice is borrowed:
+// valid until the next Row or Reset.
+func (t *UsageTable) UIDs() []app.UID {
+	if t == nil {
+		return nil
+	}
+	return t.uids
+}
+
+// Len reports the number of active rows.
+func (t *UsageTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.uids)
+}
+
+// Each calls fn for every active row in ascending UID order.
+func (t *UsageTable) Each(fn func(uid app.UID, row *UsageRow)) {
+	if t == nil {
+		return
+	}
+	for _, uid := range t.uids {
+		fn(uid, &t.rows[uid-t.base])
+	}
+}
+
+// TotalJ sums every active row in ascending UID order (each row in fixed
+// component order), matching the historical sorted-UID summation exactly.
+func (t *UsageTable) TotalJ() float64 {
+	var total float64
+	if t == nil {
+		return total
+	}
+	for _, uid := range t.uids {
+		total += t.rows[uid-t.base].Total()
+	}
+	return total
+}
+
+// Clone returns an independent deep copy.
+func (t *UsageTable) Clone() *UsageTable {
+	if t == nil {
+		return nil
+	}
+	c := &UsageTable{
+		base: t.base,
+		rows: append([]UsageRow(nil), t.rows...),
+		live: append([]bool(nil), t.live...),
+		uids: append([]app.UID(nil), t.uids...),
+	}
+	return c
+}
+
+// Interval is one integrated span of constant power, delivered to sinks.
+//
+// Borrow contract: the meter reuses ONE backing table for the interval
+// it hands to sinks, so the per-app rows (everything reached through
+// Row/App/EachApp/UIDs) are valid only until the sink returns. A sink
+// that retains interval data past its Accrue call must Clone() first;
+// the next flush overwrites the borrowed storage in place. From, To,
+// ScreenJ and SystemJ are plain values and safe to copy freely.
+type Interval struct {
+	From, To sim.Time
+	// ScreenJ is display energy over the interval; its attribution is a
+	// policy decision made downstream, so the meter reports it raw.
+	ScreenJ float64
+	// SystemJ is platform base energy (suspend or idle-awake draw).
+	SystemJ float64
+
+	// apps holds each app's own hardware energy over the interval (CPU,
+	// camera, GPS, WiFi, audio — everything except the screen).
+	apps *UsageTable
+}
+
+// NewInterval returns an interval with an empty per-app table; tests and
+// replayers build intervals with it and fill rows via Row.
+func NewInterval(from, to sim.Time) Interval {
+	return Interval{From: from, To: to, apps: NewUsageTable()}
+}
+
+// Duration reports the interval length.
+func (iv Interval) Duration() sim.Duration { return iv.To.Sub(iv.From) }
+
+// Row returns uid's usage row, creating the backing table and the row as
+// needed. Mutating a row on a borrowed interval mutates the shared
+// storage (that is what the corrupting-sink tests rely on).
+func (iv *Interval) Row(uid app.UID) *UsageRow {
+	if iv.apps == nil {
+		iv.apps = NewUsageTable()
+	}
+	return iv.apps.Row(uid)
+}
+
+// App returns uid's row, or nil when the interval attributes nothing to
+// uid. The row is borrowed (see the type comment).
+func (iv Interval) App(uid app.UID) *UsageRow { return iv.apps.Get(uid) }
+
+// AppJ reports the total energy the interval attributes to uid.
+func (iv Interval) AppJ(uid app.UID) float64 {
+	r := iv.apps.Get(uid)
+	if r == nil {
+		return 0
+	}
+	return r.Total()
+}
+
+// UIDs returns the charged UIDs in ascending order (borrowed slice).
+func (iv Interval) UIDs() []app.UID { return iv.apps.UIDs() }
+
+// NumApps reports how many apps the interval charges.
+func (iv Interval) NumApps() int { return iv.apps.Len() }
+
+// EachApp calls fn for every charged app in ascending UID order.
+func (iv Interval) EachApp(fn func(uid app.UID, row *UsageRow)) { iv.apps.Each(fn) }
+
+// AppsTotalJ sums all per-app energy in ascending UID order.
+func (iv Interval) AppsTotalJ() float64 { return iv.apps.TotalJ() }
+
+// Clone returns an interval with an independent per-app table, safe to
+// retain past the sink call that delivered the original.
+func (iv Interval) Clone() Interval {
+	iv.apps = iv.apps.Clone()
+	return iv
+}

@@ -2,6 +2,7 @@ package hw
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -89,13 +90,21 @@ func (p Profile) effectiveCPUFullMW(totalUtil float64) float64 {
 	return lvl.ActiveMW / capacity
 }
 
-// totalCPUUtil sums the per-app utilizations, clamped to one core.
+// totalCPUUtil sums the per-app utilizations, clamped to one core. The
+// values are still summed in ascending value order (bit-determinism: map
+// iteration used to be neutralized the same way), but into a reusable
+// scratch buffer instead of a freshly allocated slice per evaluation —
+// this ran on every integrated segment and every instantaneous-power
+// sample, and was the single largest allocation site in the fleet bench.
 func (m *Meter) totalCPUUtil() float64 {
-	var utils []float64
-	for _, u := range m.cpuUtil {
-		utils = append(utils, u)
+	utils := m.utilScratch[:0]
+	for _, uid := range m.liveUIDs {
+		if u := m.state[uid-m.stateBase].cpuUtil; u != 0 {
+			utils = append(utils, u)
+		}
 	}
-	sort.Float64s(utils)
+	m.utilScratch = utils
+	slices.Sort(utils)
 	var total float64
 	for _, u := range utils {
 		total += u

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/app"
 	"repro/internal/sim"
 )
 
@@ -85,9 +86,9 @@ func TestDVFSEnergyIntegration(t *testing.T) {
 	}
 	var cpuJ float64
 	m.AddSink(SinkFunc(func(iv Interval) {
-		for _, u := range iv.PerUID {
-			cpuJ += u[CPU]
-		}
+		iv.EachApp(func(_ app.UID, u *UsageRow) {
+			cpuJ += u.J(CPU)
+		})
 	}))
 	m.SetCPUUtil(1, 0.2) // runs at 384 MHz
 	if err := e.RunFor(10 * time.Second); err != nil {
@@ -115,9 +116,9 @@ func TestDVFSSecondAppRaisesFrequencyForBoth(t *testing.T) {
 	m, _ := NewMeter(e.Now, Nexus4DVFS(), b)
 	per := map[int]float64{}
 	m.AddSink(SinkFunc(func(iv Interval) {
-		for uid, u := range iv.PerUID {
-			per[int(uid)] += u[CPU]
-		}
+		iv.EachApp(func(uid app.UID, u *UsageRow) {
+			per[int(uid)] += u.J(CPU)
+		})
 	}))
 	m.SetCPUUtil(1, 0.2)
 	if err := e.RunFor(10 * time.Second); err != nil {

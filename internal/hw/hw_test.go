@@ -152,9 +152,9 @@ func TestCPUUtilAttribution(t *testing.T) {
 	e, m, _ := testMeter(t)
 	per := map[app.UID]float64{}
 	m.AddSink(SinkFunc(func(iv Interval) {
-		for uid, u := range iv.PerUID {
-			per[uid] += u[CPU]
-		}
+		iv.EachApp(func(uid app.UID, u *UsageRow) {
+			per[uid] += u.J(CPU)
+		})
 	}))
 	m.SetCPUUtil(100, 0.5)
 	m.SetCPUUtil(200, 0.25)
@@ -236,12 +236,12 @@ func TestPeripheralHolds(t *testing.T) {
 	e, m, _ := testMeter(t)
 	per := map[app.UID]Usage{}
 	m.AddSink(SinkFunc(func(iv Interval) {
-		for uid, u := range iv.PerUID {
+		iv.EachApp(func(uid app.UID, u *UsageRow) {
 			if per[uid] == nil {
 				per[uid] = make(Usage)
 			}
-			per[uid].Add(u)
-		}
+			per[uid].Add(u.Usage())
+		})
 	}))
 	if err := m.Hold(Camera, 7); err != nil {
 		t.Fatal(err)
@@ -267,9 +267,9 @@ func TestPeripheralSharedHoldSplitsEnergy(t *testing.T) {
 	e, m, _ := testMeter(t)
 	per := map[app.UID]float64{}
 	m.AddSink(SinkFunc(func(iv Interval) {
-		for uid, u := range iv.PerUID {
-			per[uid] += u[GPS]
-		}
+		iv.EachApp(func(uid app.UID, u *UsageRow) {
+			per[uid] += u.J(GPS)
+		})
 	}))
 	if err := m.Hold(GPS, 1); err != nil {
 		t.Fatal(err)
@@ -372,9 +372,9 @@ func TestPropertyBatteryMatchesSinkTotal(t *testing.T) {
 		m, _ := NewMeter(e.Now, Nexus4(), b)
 		var sunk float64
 		m.AddSink(SinkFunc(func(iv Interval) {
-			for _, u := range iv.PerUID {
+			iv.EachApp(func(_ app.UID, u *UsageRow) {
 				sunk += u.Total()
-			}
+			})
 			sunk += iv.ScreenJ + iv.SystemJ
 		}))
 		for _, op := range ops {
@@ -417,13 +417,13 @@ func TestPropertyNonNegativeEnergy(t *testing.T) {
 			if iv.ScreenJ < 0 || iv.SystemJ < 0 {
 				ok = false
 			}
-			for _, u := range iv.PerUID {
-				for _, j := range u {
-					if j < 0 {
+			iv.EachApp(func(_ app.UID, u *UsageRow) {
+				for c := CPU; c <= Audio; c++ {
+					if u.J(c) < 0 {
 						ok = false
 					}
 				}
-			}
+			})
 		}))
 		m.SetScreen(true)
 		m.SetBrightness(int(bright))

@@ -9,7 +9,9 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Usage is per-component energy in joules attributed to one app.
+// Usage is per-component energy in joules attributed to one app. It is
+// the cold-path (API/report) representation; the metering hot path works
+// on dense UsageRow values instead.
 type Usage map[Component]float64
 
 // Total sums the usage across components. Summation runs in fixed
@@ -39,25 +41,11 @@ func (u Usage) Add(other Usage) {
 	}
 }
 
-// Interval is one integrated span of constant power, delivered to sinks.
-type Interval struct {
-	From, To sim.Time
-	// PerUID holds each app's own hardware energy over the interval
-	// (CPU, camera, GPS, WiFi, audio — everything except the screen).
-	PerUID map[app.UID]Usage
-	// ScreenJ is display energy over the interval; its attribution is a
-	// policy decision made downstream, so the meter reports it raw.
-	ScreenJ float64
-	// SystemJ is platform base energy (suspend or idle-awake draw).
-	SystemJ float64
-}
-
-// Duration reports the interval length.
-func (iv Interval) Duration() sim.Duration { return iv.To.Sub(iv.From) }
-
 // Sink consumes integrated intervals. The meter calls sinks in
-// registration order with the same Interval value; sinks must not retain
-// or mutate PerUID.
+// registration order with the same Interval value, whose per-app table
+// is borrowed meter-owned storage: sinks must consume it before
+// returning, or Clone() it to retain it (see Interval's borrow
+// contract). Sinks must not mutate the rows.
 type Sink interface {
 	Accrue(Interval)
 }
@@ -68,12 +56,38 @@ type SinkFunc func(Interval)
 // Accrue implements Sink.
 func (f SinkFunc) Accrue(iv Interval) { f(iv) }
 
+// uidState is one app's live meter state, stored densely per UID slot.
+type uidState struct {
+	// cpuUtil is the utilization currently attributed to the app
+	// (non-zero only while attributed: zero util clears the slot).
+	cpuUtil float64
+	// holds counts nested peripheral holds per component (index
+	// Component-1; CPU and Screen slots stay zero).
+	holds [numComponents]int32
+	// tailExp, when non-zero, is the instant the app's WiFi radio tail
+	// expires. An app never holds WiFi and has a tail at once.
+	tailExp sim.Time
+}
+
+// empty reports whether the state carries nothing and its slot can be
+// released.
+func (s *uidState) empty() bool {
+	return s.cpuUtil == 0 && s.tailExp == 0 && s.holds == [numComponents]int32{}
+}
+
 // Meter tracks device hardware state and integrates energy exactly over
 // each span of constant power.
 //
 // All state setters first close the current interval (integrating energy
 // at the old power level up to now), then apply the change, so callers
 // never need to worry about ordering within a single instant.
+//
+// Per-UID state lives in a dense slot table mirroring internal/app's
+// small-int UID assignment, with the live UID set cached as a sorted
+// slice. The cache replaces the per-flush "collect keys + sort.Slice"
+// pass the map representation needed: it is invalidated (updated in
+// place) only when CPU attribution, holds or tails change, never per
+// interval.
 type Meter struct {
 	now     func() sim.Time
 	profile Profile
@@ -87,16 +101,29 @@ type Meter struct {
 	screenDim  bool
 	brightness int
 
-	cpuUtil map[app.UID]float64
-	// Peripheral holds are counted (an app may hold a device from
-	// several components at once).
-	holds map[Component]map[app.UID]int
+	// state is the dense per-UID table: state[uid-stateBase].
+	stateBase app.UID
+	state     []uidState
+	stateLive []bool
+	// liveUIDs is the sorted cache of UIDs with any live state.
+	liveUIDs []app.UID
+	// holderCount[c-1] counts distinct UIDs holding component c; it is
+	// the denominator of the per-holder energy share and makes "is c
+	// held at all" O(1).
+	holderCount [numComponents]int
+	// tailCount counts live WiFi tails, so tail-free accrual (the common
+	// case) skips the expiry scan entirely.
+	tailCount int
 
-	// wifiTails tracks per-app radio ramp-down: after an app's last WiFi
-	// hold drops, the radio lingers in its low-power state until the
-	// recorded instant, still billed to that app (tail energy). Accrual
-	// splits intervals at tail expiries, so tail energy stays exact.
-	wifiTails map[app.UID]sim.Time
+	// iv is the reusable interval buffer handed to sinks; its per-app
+	// table is reset, not reallocated, on every flush. See Interval's
+	// borrow contract.
+	iv Interval
+
+	// utilScratch is totalCPUUtil's reusable sort buffer.
+	utilScratch []float64
+	// uidScratch is a reusable buffer for deferred live-set removals.
+	uidScratch []app.UID
 
 	// tel receives power-state changes, battery updates and per-component
 	// power distributions; nil (the default) costs one branch per change.
@@ -121,9 +148,8 @@ func NewMeter(now func() sim.Time, profile Profile, battery *Battery) (*Meter, e
 		battery:    battery,
 		lastT:      now(),
 		brightness: 102, // Android's default ~40% brightness
-		cpuUtil:    make(map[app.UID]float64),
-		holds:      make(map[Component]map[app.UID]int),
-		wifiTails:  make(map[app.UID]sim.Time),
+		stateBase:  app.FirstAppUID,
+		iv:         NewInterval(0, 0),
 	}
 	return m, nil
 }
@@ -156,8 +182,74 @@ func (m *Meter) Brightness() int { return m.brightness }
 // Suspended reports whether the platform is in deep sleep.
 func (m *Meter) Suspended() bool { return m.suspended }
 
+// stateGet returns uid's live state, or nil.
+func (m *Meter) stateGet(uid app.UID) *uidState {
+	if uid < m.stateBase {
+		return nil
+	}
+	i := int(uid - m.stateBase)
+	if i >= len(m.state) || !m.stateLive[i] {
+		return nil
+	}
+	return &m.state[i]
+}
+
+// stateRow returns uid's state, creating (and activating) its slot as
+// needed and inserting uid into the sorted live cache on first touch.
+func (m *Meter) stateRow(uid app.UID) *uidState {
+	if uid < m.stateBase {
+		shift := int(m.stateBase - uid)
+		state := make([]uidState, shift+len(m.state))
+		copy(state[shift:], m.state)
+		live := make([]bool, shift+len(m.stateLive))
+		copy(live[shift:], m.stateLive)
+		m.state, m.stateLive, m.stateBase = state, live, uid
+	}
+	i := int(uid - m.stateBase)
+	for i >= len(m.state) {
+		m.state = append(m.state, uidState{})
+		m.stateLive = append(m.stateLive, false)
+	}
+	if !m.stateLive[i] {
+		m.stateLive[i] = true
+		m.insertLive(uid)
+	}
+	return &m.state[i]
+}
+
+func (m *Meter) insertLive(uid app.UID) {
+	n := len(m.liveUIDs)
+	if n == 0 || uid > m.liveUIDs[n-1] {
+		m.liveUIDs = append(m.liveUIDs, uid)
+		return
+	}
+	j := sort.Search(n, func(k int) bool { return m.liveUIDs[k] >= uid })
+	m.liveUIDs = append(m.liveUIDs, 0)
+	copy(m.liveUIDs[j+1:], m.liveUIDs[j:])
+	m.liveUIDs[j] = uid
+}
+
+// releaseState drops uid from the live cache when its state is empty.
+func (m *Meter) releaseState(uid app.UID, st *uidState) {
+	if !st.empty() {
+		return
+	}
+	m.stateLive[uid-m.stateBase] = false
+	for j, u := range m.liveUIDs {
+		if u == uid {
+			m.liveUIDs = append(m.liveUIDs[:j], m.liveUIDs[j+1:]...)
+			return
+		}
+	}
+}
+
 // CPUUtil reports the utilization currently attributed to uid.
-func (m *Meter) CPUUtil(uid app.UID) float64 { return m.cpuUtil[uid] }
+func (m *Meter) CPUUtil(uid app.UID) float64 {
+	if st := m.stateGet(uid); st != nil {
+		return st.cpuUtil
+	}
+	return 0
+}
 
 // Flush integrates energy up to the current instant without changing any
 // state. Call before reading accounting results.
@@ -174,10 +266,27 @@ func (m *Meter) SetSuspended(v bool) {
 	m.accrue()
 	m.tel.RecordPowerState(m.now(), app.UIDNone, "suspend", b01(m.suspended), b01(v))
 	m.suspended = v
-	if v {
-		for uid := range m.wifiTails {
-			delete(m.wifiTails, uid)
+	if v && m.tailCount > 0 {
+		m.dropTails(0)
+	}
+}
+
+// dropTails zeroes every tail that has expired by cutoff (cutoff 0 kills
+// all of them) and releases emptied slots.
+func (m *Meter) dropTails(cutoff sim.Time) {
+	m.uidScratch = m.uidScratch[:0]
+	for _, uid := range m.liveUIDs {
+		st := &m.state[uid-m.stateBase]
+		if st.tailExp != 0 && (cutoff == 0 || st.tailExp <= cutoff) {
+			st.tailExp = 0
+			m.tailCount--
+			if st.empty() {
+				m.uidScratch = append(m.uidScratch, uid)
+			}
 		}
+	}
+	for _, uid := range m.uidScratch {
+		m.releaseState(uid, &m.state[uid-m.stateBase])
 	}
 }
 
@@ -233,16 +342,14 @@ func (m *Meter) SetCPUUtil(uid app.UID, util float64) {
 	if util > 1 {
 		util = 1
 	}
-	if m.cpuUtil[uid] == util {
+	if m.CPUUtil(uid) == util {
 		return
 	}
 	m.accrue()
-	m.tel.RecordPowerState(m.now(), uid, "cpu", m.cpuUtil[uid], util)
-	if util == 0 {
-		delete(m.cpuUtil, uid)
-	} else {
-		m.cpuUtil[uid] = util
-	}
+	st := m.stateRow(uid)
+	m.tel.RecordPowerState(m.now(), uid, "cpu", st.cpuUtil, util)
+	st.cpuUtil = util
+	m.releaseState(uid, st)
 }
 
 // Hold records that uid powered component c (camera, GPS, WiFi, audio).
@@ -253,13 +360,16 @@ func (m *Meter) Hold(c Component, uid app.UID) error {
 		return fmt.Errorf("hw: cannot hold %v", c)
 	}
 	m.accrue()
-	if m.holds[c] == nil {
-		m.holds[c] = make(map[app.UID]int)
+	st := m.stateRow(uid)
+	ci := int(c - 1)
+	if st.holds[ci] == 0 {
+		m.holderCount[ci]++
 	}
-	m.holds[c][uid]++
-	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(m.holds[c][uid]-1), float64(m.holds[c][uid]))
-	if c == WiFi {
-		delete(m.wifiTails, uid)
+	st.holds[ci]++
+	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(st.holds[ci]-1), float64(st.holds[ci]))
+	if c == WiFi && st.tailExp != 0 {
+		st.tailExp = 0
+		m.tailCount--
 	}
 	return nil
 }
@@ -271,30 +381,38 @@ func (m *Meter) Release(c Component, uid app.UID) error {
 	if !peripheral(c) {
 		return fmt.Errorf("hw: cannot release %v", c)
 	}
-	if m.holds[c][uid] <= 0 {
+	st := m.stateGet(uid)
+	ci := int(c - 1)
+	if st == nil || st.holds[ci] <= 0 {
 		return fmt.Errorf("hw: release of %v by uid %d without hold", c, uid)
 	}
 	m.accrue()
-	m.holds[c][uid]--
-	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(m.holds[c][uid]+1), float64(m.holds[c][uid]))
-	if m.holds[c][uid] == 0 {
-		delete(m.holds[c], uid)
+	st.holds[ci]--
+	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(st.holds[ci]+1), float64(st.holds[ci]))
+	if st.holds[ci] == 0 {
+		m.holderCount[ci]--
 		if c == WiFi && m.profile.WiFiTail > 0 && m.profile.WiFiLow > 0 {
-			m.wifiTails[uid] = m.now().Add(m.profile.WiFiTail)
+			st.tailExp = m.now().Add(m.profile.WiFiTail)
+			m.tailCount++
 		}
+		m.releaseState(uid, st)
 	}
 	return nil
 }
 
 // InWiFiTail reports whether uid's radio is in its ramp-down state.
 func (m *Meter) InWiFiTail(uid app.UID) bool {
-	exp, ok := m.wifiTails[uid]
-	return ok && exp.After(m.now())
+	st := m.stateGet(uid)
+	return st != nil && st.tailExp != 0 && st.tailExp.After(m.now())
 }
 
 // Holding reports whether uid currently powers component c.
 func (m *Meter) Holding(c Component, uid app.UID) bool {
-	return m.holds[c][uid] > 0
+	if !peripheral(c) {
+		return false
+	}
+	st := m.stateGet(uid)
+	return st != nil && st.holds[c-1] > 0
 }
 
 func peripheral(c Component) bool {
@@ -330,36 +448,33 @@ func (m *Meter) accrue() {
 	}
 	for m.lastT < t {
 		segEnd := t
-		for _, exp := range m.wifiTails {
-			if exp > m.lastT && exp < segEnd {
-				segEnd = exp
+		if m.tailCount > 0 {
+			for _, uid := range m.liveUIDs {
+				if exp := m.state[uid-m.stateBase].tailExp; exp > m.lastT && exp < segEnd {
+					segEnd = exp
+				}
 			}
 		}
 		m.accrueSegment(segEnd)
-		for uid, exp := range m.wifiTails {
-			if exp <= m.lastT {
-				delete(m.wifiTails, uid)
-			}
+		if m.tailCount > 0 {
+			m.dropTails(m.lastT)
 		}
 	}
 }
 
-// accrueSegment integrates [lastT, t) at constant power.
+// accrueSegment integrates [lastT, t) at constant power into the meter's
+// reusable interval buffer and hands it to the sinks (borrowed: the next
+// segment overwrites it).
 func (m *Meter) accrueSegment(t sim.Time) {
 	if t == m.lastT {
 		return
 	}
 	secs := t.Sub(m.lastT).Seconds()
 
-	iv := Interval{From: m.lastT, To: t, PerUID: make(map[app.UID]Usage)}
-	usage := func(uid app.UID) Usage {
-		u := iv.PerUID[uid]
-		if u == nil {
-			u = make(Usage)
-			iv.PerUID[uid] = u
-		}
-		return u
-	}
+	iv := &m.iv
+	iv.From, iv.To = m.lastT, t
+	iv.ScreenJ, iv.SystemJ = 0, 0
+	iv.apps.Reset()
 
 	// Platform base draw.
 	base := m.profile.CPUIdleAwake
@@ -369,29 +484,41 @@ func (m *Meter) accrueSegment(t sim.Time) {
 	iv.SystemJ = mWtoJ(base, secs)
 
 	if !m.suspended {
-		// Per-app CPU, at the current DVFS operating point (linear when
-		// the profile has no frequency ladder).
+		// One pass over the sorted live-UID cache replaces the map walks
+		// and the per-flush key sort: rows are created under exactly the
+		// old conditions (attributed CPU, any held peripheral, a live
+		// tail), so the charged-UID set is unchanged, and ascending-UID
+		// iteration keeps the table's active set sorted for free.
 		cpuMW := m.cpuMarginalMW()
-		for uid, util := range m.cpuUtil {
-			usage(uid)[CPU] += mWtoJ(util*cpuMW, secs)
-		}
-		// Peripherals: full component power charged to each holder (if
-		// two apps hold the camera, hardware draws once but both keep it
-		// on; charge the holder set equally).
-		for c, holders := range m.holds {
-			if len(holders) == 0 {
-				continue
+		for _, uid := range m.liveUIDs {
+			st := &m.state[uid-m.stateBase]
+			var row *UsageRow
+			if st.cpuUtil != 0 {
+				// Per-app CPU, at the current DVFS operating point
+				// (linear when the profile has no frequency ladder).
+				row = iv.apps.Row(uid)
+				row.Add(CPU, mWtoJ(st.cpuUtil*cpuMW, secs))
 			}
-			share := mWtoJ(m.peripheralPower(c), secs) / float64(len(holders))
-			for uid := range holders {
-				usage(uid)[c] += share
+			// Peripherals: full component power charged to each holder
+			// (if two apps hold the camera, hardware draws once but both
+			// keep it on; charge the holder set equally).
+			for ci := range st.holds {
+				if st.holds[ci] > 0 {
+					c := Component(ci + 1)
+					share := mWtoJ(m.peripheralPower(c), secs) / float64(m.holderCount[ci])
+					if row == nil {
+						row = iv.apps.Row(uid)
+					}
+					row.Add(c, share)
+				}
 			}
-		}
-		// Radio tails: apps whose WiFi hold ended recently keep drawing
-		// the low-power state until their tail expires.
-		for uid, exp := range m.wifiTails {
-			if exp > m.lastT {
-				usage(uid)[WiFi] += mWtoJ(m.profile.WiFiLow, secs)
+			// Radio tails: apps whose WiFi hold ended recently keep
+			// drawing the low-power state until their tail expires.
+			if st.tailExp > m.lastT {
+				if row == nil {
+					row = iv.apps.Row(uid)
+				}
+				row.Add(WiFi, mWtoJ(m.profile.WiFiLow, secs))
 			}
 		}
 		// Screen.
@@ -402,39 +529,32 @@ func (m *Meter) accrueSegment(t sim.Time) {
 
 	m.lastT = t
 
-	uids := make([]app.UID, 0, len(iv.PerUID))
-	for uid := range iv.PerUID {
-		uids = append(uids, uid)
-	}
-	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
-	var total float64
-	for _, uid := range uids {
-		total += iv.PerUID[uid].Total()
-	}
+	total := iv.AppsTotalJ()
 	total += iv.ScreenJ + iv.SystemJ
 	if err := m.battery.Drain(total); err != nil {
 		panic(err) // unreachable: total is a sum of non-negative terms
 	}
 
 	if m.tel.Enabled() {
-		m.observeSegment(iv, uids, secs, total)
+		m.observeSegment(iv, secs, total)
 	}
 
 	for _, s := range m.sinks {
-		s.Accrue(iv)
+		s.Accrue(*iv)
 	}
 }
 
 // observeSegment feeds telemetry for one accrued segment: the battery
 // update event and the per-component mean-power distributions. Summation
-// follows the sorted uid slice, so every float result is order-stable
-// and metric snapshots stay byte-identical across runs.
-func (m *Meter) observeSegment(iv Interval, uids []app.UID, secs, totalJ float64) {
+// follows the table's sorted UID order, so every float result is
+// order-stable and metric snapshots stay byte-identical across runs.
+func (m *Meter) observeSegment(iv *Interval, secs, totalJ float64) {
 	m.tel.RecordBattery(iv.To, totalJ, m.battery.Percent())
+	uids := iv.apps.UIDs()
 	for _, c := range Components() {
 		var j float64
 		for _, uid := range uids {
-			j += iv.PerUID[uid][c]
+			j += iv.apps.Get(uid).J(c)
 		}
 		if c == Screen {
 			j += iv.ScreenJ
@@ -458,18 +578,17 @@ func (m *Meter) InstantPowerMW() float64 {
 	p := base
 	if !m.suspended {
 		cpuMW := m.cpuMarginalMW()
-		for _, util := range m.cpuUtil {
-			p += util * cpuMW
-		}
-		for c, holders := range m.holds {
-			if len(holders) > 0 {
-				p += m.peripheralPower(c)
+		now := m.now()
+		for _, uid := range m.liveUIDs {
+			st := &m.state[uid-m.stateBase]
+			p += st.cpuUtil * cpuMW
+			if st.tailExp != 0 && st.tailExp.After(now) {
+				p += m.profile.WiFiLow
 			}
 		}
-		now := m.now()
-		for _, exp := range m.wifiTails {
-			if exp.After(now) {
-				p += m.profile.WiFiLow
+		for ci := range m.holderCount {
+			if m.holderCount[ci] > 0 {
+				p += m.peripheralPower(Component(ci + 1))
 			}
 		}
 		if m.screenOn {
@@ -510,40 +629,43 @@ func (m *Meter) InstantSystemPowerMW() float64 {
 
 // InstantAppPowerMW reports the power currently drawn by uid's own
 // components (CPU plus peripheral holds, excluding screen), in mW. This
-// is the per-app trace a power-signature detector samples.
+// is the per-app trace a power-signature detector samples; the dense
+// state table makes the common case — an app with no live meter state —
+// a constant-time zero instead of a walk over every hold map.
 func (m *Meter) InstantAppPowerMW(uid app.UID) float64 {
 	if m.suspended {
 		return 0
 	}
-	p := m.cpuUtil[uid] * m.cpuMarginalMW()
-	for c, holders := range m.holds {
-		if n := holders[uid]; n > 0 {
-			p += m.peripheralPower(c) / float64(len(holders))
+	st := m.stateGet(uid)
+	if st == nil {
+		return 0
+	}
+	var p float64
+	if st.cpuUtil != 0 {
+		p = st.cpuUtil * m.cpuMarginalMW()
+	}
+	for ci := range st.holds {
+		if st.holds[ci] > 0 {
+			p += m.peripheralPower(Component(ci+1)) / float64(m.holderCount[ci])
 		}
 	}
-	if exp, ok := m.wifiTails[uid]; ok && exp.After(m.now()) {
+	if st.tailExp != 0 && st.tailExp.After(m.now()) {
 		p += m.profile.WiFiLow
 	}
 	return p
 }
 
-// UIDs returns the set of uids with any live meter state, sorted; useful
-// for diagnostics.
+// UIDs returns the set of uids with CPU attribution or live holds,
+// sorted; useful for diagnostics. (Tail-only uids are excluded, matching
+// the historical definition.)
 func (m *Meter) UIDs() []app.UID {
-	set := map[app.UID]bool{}
-	for uid := range m.cpuUtil {
-		set[uid] = true
-	}
-	for _, holders := range m.holds {
-		for uid := range holders {
-			set[uid] = true
+	out := make([]app.UID, 0, len(m.liveUIDs))
+	for _, uid := range m.liveUIDs {
+		st := &m.state[uid-m.stateBase]
+		if st.cpuUtil != 0 || st.holds != [numComponents]int32{} {
+			out = append(out, uid)
 		}
 	}
-	out := make([]app.UID, 0, len(set))
-	for uid := range set {
-		out = append(out, uid)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -22,9 +22,9 @@ func tailFixture(t *testing.T) (*sim.Engine, *Meter, map[app.UID]float64) {
 	}
 	wifiJ := map[app.UID]float64{}
 	m.AddSink(SinkFunc(func(iv Interval) {
-		for uid, u := range iv.PerUID {
-			wifiJ[uid] += u[WiFi]
-		}
+		iv.EachApp(func(uid app.UID, u *UsageRow) {
+			wifiJ[uid] += u.J(WiFi)
+		})
 	}))
 	return e, m, wifiJ
 }

@@ -139,7 +139,7 @@ type Manager struct {
 
 	screenOn      bool
 	screenTimeout sim.Duration
-	timeoutEvent  *sim.Event
+	timeoutEvent  sim.Handle
 }
 
 // DefaultScreenTimeout mirrors the 30 s auto-off the paper's experiments
@@ -304,7 +304,7 @@ func (m *Manager) setScreen(on bool, cause ScreenCause) {
 func (m *Manager) armTimeout() {
 	m.disarmTimeout()
 	m.timeoutEvent = m.engine.After(m.screenTimeout, "power.screen-timeout", func() {
-		m.timeoutEvent = nil
+		m.timeoutEvent = sim.Handle{}
 		if m.AnyScreenLock() {
 			// A screen wakelock holds the display on — but if only dim
 			// locks remain, the display drops to its dim state (the
@@ -322,10 +322,8 @@ func (m *Manager) armTimeout() {
 }
 
 func (m *Manager) disarmTimeout() {
-	if m.timeoutEvent != nil {
-		m.timeoutEvent.Cancel()
-		m.timeoutEvent = nil
-	}
+	m.timeoutEvent.Cancel() // no-op on the zero Handle or a fired event
+	m.timeoutEvent = sim.Handle{}
 }
 
 // reevaluate applies Android's aggressive sleep policy: with the screen

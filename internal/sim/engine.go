@@ -33,6 +33,9 @@ func (e *TracerPanicError) Error() string {
 
 // Event is a scheduled callback. Events fire in timestamp order; ties are
 // broken by scheduling order (FIFO), which keeps scenarios deterministic.
+// Events are pool-owned: once fired or cancelled they are recycled for
+// the next Schedule, so callers hold Handles (generation-checked) rather
+// than *Event.
 type Event struct {
 	at   Time
 	seq  uint64
@@ -41,17 +44,83 @@ type Event struct {
 
 	index    int // heap index; -1 once popped or cancelled
 	canceled bool
+	// gen increments every time the event returns to its pool; a Handle
+	// captured before that no longer matches and turns into a no-op.
+	gen uint32
 }
 
-// At reports the instant the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Handle refers to a scheduled event. The zero Handle is valid and
+// refers to nothing. Handles stay safe after their event fires: the
+// event's recycle bumps its generation, so a stale Handle's Cancel (or
+// accessors) cannot touch whatever the pooled Event was reused for.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
-// Name reports the diagnostic label given at scheduling time.
-func (e *Event) Name() string { return e.name }
+// live reports whether the handle still refers to its original event.
+func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// At reports the instant the event is scheduled to fire (zero for a
+// stale or empty handle).
+func (h Handle) At() Time {
+	if h.live() {
+		return h.ev.at
+	}
+	return 0
+}
+
+// Name reports the diagnostic label given at scheduling time ("" for a
+// stale or empty handle).
+func (h Handle) Name() string {
+	if h.live() {
+		return h.ev.name
+	}
+	return ""
+}
 
 // Cancel prevents a pending event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// already fired (or was already cancelled, or an empty handle) is a
+// no-op.
+func (h Handle) Cancel() {
+	if h.live() {
+		h.ev.canceled = true
+	}
+}
+
+// Scheduled reports whether the event is still queued to fire.
+func (h Handle) Scheduled() bool {
+	return h.live() && !h.ev.canceled && h.ev.index >= 0
+}
+
+// EventPool recycles Event allocations. Every engine owns one by
+// default; sequential engines (a fleet worker running one device after
+// another) can share a single pool via SetEventPool so each device
+// reuses its predecessor's arena instead of growing a fresh one for the
+// GC to sweep. A pool is single-goroutine, like the engines it feeds.
+type EventPool struct {
+	free []*Event
+}
+
+// NewEventPool returns an empty pool.
+func NewEventPool() *EventPool { return &EventPool{} }
+
+func (p *EventPool) get() *Event {
+	if n := len(p.free); n > 0 {
+		ev := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+func (p *EventPool) put(ev *Event) {
+	ev.gen++
+	ev.fn = nil // release the closure now, not at next reuse
+	ev.name = ""
+	p.free = append(p.free, ev)
+}
 
 type eventQueue []*Event
 
@@ -95,10 +164,18 @@ type Engine struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	pool    *EventPool
 
 	// tracers receive every fired event; used by tests, the CLIs'
 	// -trace flags and the telemetry recorder.
 	tracers []*Tracer
+	// tracing is true only while fireTracers runs its callbacks, and
+	// tracingName names the event being traced. Together they let the
+	// run-loop recover guards tell a tracer panic (recovered, converted
+	// to traceErr) from an event-callback panic (left to unwind with its
+	// full stack) without paying a defer per fired event.
+	tracing     bool
+	tracingName string
 	// traceErr holds a recovered tracer panic until the run loop in
 	// flight surfaces it.
 	traceErr *TracerPanicError
@@ -110,7 +187,7 @@ type Engine struct {
 // Tracer is a registered trace callback. Close unregisters it.
 type Tracer struct {
 	engine *Engine
-	fn     func(t Time, name string)
+	fn     func(t Time, name string, queueDepth int)
 }
 
 // Close unregisters the tracer; later events no longer reach its
@@ -132,7 +209,17 @@ func (tr *Tracer) Close() {
 // NewEngine returns an engine whose clock reads T+0 and whose random
 // source is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), pool: NewEventPool()}
+}
+
+// SetEventPool replaces the engine's event pool (never nil). Call it
+// before scheduling anything; events already recycled stay in the old
+// pool. Pool reuse does not affect determinism — a recycled Event is
+// fully re-initialized on Schedule.
+func (e *Engine) SetEventPool(p *EventPool) {
+	if p != nil {
+		e.pool = p
+	}
 }
 
 // Now reports the current virtual time.
@@ -142,10 +229,15 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Trace registers fn to be called for every event that fires and
-// returns a handle; Close the handle to unregister. A panicking tracer
-// does not unwind through event dispatch: the engine recovers it, halts
-// the run, and the Run variant in flight returns a *TracerPanicError.
-func (e *Engine) Trace(fn func(t Time, name string)) *Tracer {
+// returns a handle; Close the handle to unregister. Along with the
+// event's timestamp and name, fn receives the queue depth just after
+// the event was popped: the dispatch loop has it at hand, and handing
+// it over saves per-event samplers (the telemetry recorder) a
+// round-trip through QueueLen on the hottest path in the tree. A
+// panicking tracer does not unwind through event dispatch: the engine
+// recovers it, halts the run, and the Run variant in flight returns a
+// *TracerPanicError.
+func (e *Engine) Trace(fn func(t Time, name string, queueDepth int)) *Tracer {
 	tr := &Tracer{engine: e, fn: fn}
 	e.tracers = append(e.tracers, tr)
 	return tr
@@ -158,19 +250,23 @@ func (e *Engine) QueueLen() int { return len(e.queue) }
 
 // Schedule queues fn to run at instant at. Scheduling in the past (before
 // Now) panics: it always indicates a scenario bug, and silently clamping
-// would corrupt energy integration.
-func (e *Engine) Schedule(at Time, name string, fn func()) *Event {
+// would corrupt energy integration. The returned Handle cancels or
+// inspects the pending event; it goes stale (harmlessly) once the event
+// fires and its pooled Event is recycled.
+func (e *Engine) Schedule(at Time, name string, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, name: name, fn: fn}
+	ev := e.pool.get()
+	ev.at, ev.seq, ev.name, ev.fn = at, e.seq, name, fn
+	ev.canceled = false
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After queues fn to run d after the current instant.
-func (e *Engine) After(d Duration, name string, fn func()) *Event {
+func (e *Engine) After(d Duration, name string, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
 	}
@@ -221,49 +317,77 @@ func (e *Engine) FailErr() error {
 // the event's callback is skipped, the engine stops, and the error is
 // surfaced by the Run variant in flight (or by TraceErr for manual
 // steppers).
-func (e *Engine) Step() bool {
+func (e *Engine) Step() (fired bool) {
+	// Manual steppers get the per-call recover guard; the run loops call
+	// stepFast directly and amortize one guard over the whole run.
+	defer func() {
+		if !e.tracing {
+			return // a panic in flight is the event callback's own: let it unwind
+		}
+		if r := recover(); r != nil {
+			e.noteTracerPanic(r)
+			fired = true
+		}
+	}()
+	return e.stepFast()
+}
+
+// stepFast is Step without a recover guard: a panicking tracer unwinds
+// out with e.tracing still set, and the caller's deferred guard (Step,
+// RunUntil, Drain) converts it to traceErr. Keeping the defer out of
+// this path is worth several ns per event, which is exactly the margin
+// the telemetry enabled-overhead gate is fought over.
+func (e *Engine) stepFast() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
+			e.pool.put(ev)
 			continue
 		}
 		e.now = ev.at
-		if len(e.tracers) > 0 && !e.fireTracers(ev.name) {
-			return true
+		if len(e.tracers) > 0 {
+			e.fireTracers(ev.name)
 		}
-		ev.fn()
+		fn := ev.fn
+		// Recycle before dispatch so fn itself (the common self-
+		// rescheduling case: tickers, WiFi tails) reuses this very Event.
+		// The generation bump makes any Handle still pointing here stale,
+		// so Cancel-after-fire stays a no-op even across reuse.
+		e.pool.put(ev)
+		fn()
 		return true
 	}
 	return false
 }
 
-// fireTracers invokes every tracer under a recover guard, reporting
-// whether all of them returned normally. Iterating over a snapshot keeps
-// dispatch well-defined when a callback closes its own (or another)
-// tracer mid-event.
-func (e *Engine) fireTracers(name string) (ok bool) {
-	tracers := e.tracers
-	for _, tr := range tracers {
+// fireTracers invokes every tracer. The range's slice snapshot and the
+// engine-nil check keep dispatch well-defined when a callback closes
+// its own (or another) tracer mid-event. There is deliberately no
+// recover here: the tracing flag marks the region instead, and the
+// enclosing run loop's single deferred guard does the recovery, so the
+// per-event cost charged against the telemetry overhead gate is two
+// flag stores rather than a defer + recover.
+func (e *Engine) fireTracers(name string) {
+	e.tracingName = name
+	e.tracing = true
+	depth := len(e.queue)
+	for _, tr := range e.tracers {
 		if tr.engine == nil { // closed mid-dispatch
 			continue
 		}
-		if !e.fireTracer(tr, name) {
-			return false
-		}
+		tr.fn(e.now, name, depth)
 	}
-	return true
+	e.tracing = false
 }
 
-func (e *Engine) fireTracer(tr *Tracer, name string) (ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			e.traceErr = &TracerPanicError{EventName: name, Value: r, Stack: debug.Stack()}
-			e.stopped = true
-			ok = false
-		}
-	}()
-	tr.fn(e.now, name)
-	return true
+// noteTracerPanic converts a panic recovered from a trace callback into
+// the engine's pending traceErr and halts the run. Callers must have
+// checked e.tracing before recovering: a panic with tracing unset
+// belongs to the event callback and must be left to unwind.
+func (e *Engine) noteTracerPanic(r any) {
+	e.tracing = false
+	e.traceErr = &TracerPanicError{EventName: e.tracingName, Value: r, Stack: debug.Stack()}
+	e.stopped = true
 }
 
 // TraceErr reports (and clears) a pending tracer panic. Run variants
@@ -280,7 +404,7 @@ func (e *Engine) TraceErr() error {
 // RunUntil fires events until the clock would pass horizon, then advances
 // the clock exactly to horizon. Pending events after the horizon stay
 // queued. It returns ErrStopped if Stop was called mid-run.
-func (e *Engine) RunUntil(horizon Time) error {
+func (e *Engine) RunUntil(horizon Time) (err error) {
 	if horizon < e.now {
 		return fmt.Errorf("sim: horizon %v before now %v", horizon, e.now)
 	}
@@ -288,13 +412,24 @@ func (e *Engine) RunUntil(horizon Time) error {
 		return err
 	}
 	e.stopped = false
+	// One recover guard for the whole run instead of one per event; see
+	// stepFast. Event-callback panics keep unwinding untouched.
+	defer func() {
+		if !e.tracing {
+			return
+		}
+		if r := recover(); r != nil {
+			e.noteTracerPanic(r)
+			err = e.TraceErr()
+		}
+	}()
 	for !e.stopped {
 		next, ok := e.peek()
 		if !ok || next.After(horizon) {
 			e.now = horizon
 			return nil
 		}
-		e.Step()
+		e.stepFast()
 	}
 	if err := e.TraceErr(); err != nil {
 		return err
@@ -311,11 +446,21 @@ func (e *Engine) RunFor(d Duration) error { return e.RunUntil(e.now.Add(d)) }
 // Drain fires every pending event. It returns ErrStopped if Stop was
 // called, and an error if the queue never empties within maxEvents fires
 // (a guard against runaway self-rescheduling scenarios).
-func (e *Engine) Drain(maxEvents int) error {
+func (e *Engine) Drain(maxEvents int) (err error) {
 	if err := e.FailErr(); err != nil {
 		return err
 	}
 	e.stopped = false
+	// Same single-guard pattern as RunUntil.
+	defer func() {
+		if !e.tracing {
+			return
+		}
+		if r := recover(); r != nil {
+			e.noteTracerPanic(r)
+			err = e.TraceErr()
+		}
+	}()
 	for i := 0; ; i++ {
 		if e.stopped {
 			if err := e.TraceErr(); err != nil {
@@ -329,7 +474,7 @@ func (e *Engine) Drain(maxEvents int) error {
 		if i >= maxEvents {
 			return fmt.Errorf("sim: drain exceeded %d events", maxEvents)
 		}
-		if !e.Step() {
+		if !e.stepFast() {
 			return nil
 		}
 	}
@@ -349,7 +494,7 @@ func (e *Engine) Pending() int {
 func (e *Engine) peek() (Time, bool) {
 	for e.queue.Len() > 0 {
 		if e.queue[0].canceled {
-			heap.Pop(&e.queue)
+			e.pool.put(heap.Pop(&e.queue).(*Event))
 			continue
 		}
 		return e.queue[0].at, true
@@ -363,26 +508,28 @@ type Ticker struct {
 	period  Duration
 	name    string
 	fn      func()
-	pending *Event
+	tick    func() // built once; re-arming reuses it instead of closing over a fresh closure per period
+	pending Handle
 	stopped bool
 }
 
 func (t *Ticker) arm() {
-	t.pending = t.engine.After(t.period, t.name, func() {
-		if t.stopped {
-			return
+	if t.tick == nil {
+		t.tick = func() {
+			if t.stopped {
+				return
+			}
+			t.fn()
+			if !t.stopped {
+				t.arm()
+			}
 		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	}
+	t.pending = t.engine.After(t.period, t.name, t.tick)
 }
 
 // Stop cancels future firings. Safe to call more than once.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.pending != nil {
-		t.pending.Cancel()
-	}
+	t.pending.Cancel()
 }

@@ -232,7 +232,7 @@ func TestEveryNonPositivePanics(t *testing.T) {
 func TestTraceSeesEvents(t *testing.T) {
 	e := NewEngine(1)
 	var names []string
-	e.Trace(func(_ Time, name string) { names = append(names, name) })
+	e.Trace(func(_ Time, name string, _ int) { names = append(names, name) })
 	e.Schedule(Second, "a", func() {})
 	e.Schedule(2*Second, "b", func() {})
 	if err := e.Drain(10); err != nil {

@@ -9,7 +9,7 @@ import (
 func TestTraceReceivesEvents(t *testing.T) {
 	e := NewEngine(1)
 	var got []string
-	e.Trace(func(at Time, name string) { got = append(got, name) })
+	e.Trace(func(at Time, name string, _ int) { got = append(got, name) })
 	e.Schedule(Second, "a", func() {})
 	e.Schedule(2*Second, "b", func() {})
 	if err := e.Drain(10); err != nil {
@@ -23,7 +23,7 @@ func TestTraceReceivesEvents(t *testing.T) {
 func TestTracerCloseUnregisters(t *testing.T) {
 	e := NewEngine(1)
 	var got []string
-	tr := e.Trace(func(at Time, name string) { got = append(got, name) })
+	tr := e.Trace(func(at Time, name string, _ int) { got = append(got, name) })
 	e.Schedule(Second, "a", func() {})
 	e.Schedule(2*Second, "b", func() {})
 	if !e.Step() {
@@ -43,8 +43,8 @@ func TestTracerCloseUnregisters(t *testing.T) {
 func TestMultipleTracersAllFire(t *testing.T) {
 	e := NewEngine(1)
 	n1, n2 := 0, 0
-	e.Trace(func(Time, string) { n1++ })
-	e.Trace(func(Time, string) { n2++ })
+	e.Trace(func(Time, string, int) { n1++ })
+	e.Trace(func(Time, string, int) { n2++ })
 	e.Schedule(Second, "x", func() {})
 	if err := e.Drain(10); err != nil {
 		t.Fatal(err)
@@ -58,12 +58,12 @@ func TestTracerCloseDuringDispatch(t *testing.T) {
 	e := NewEngine(1)
 	var second *Tracer
 	first := 0
-	e.Trace(func(Time, string) {
+	e.Trace(func(Time, string, int) {
 		first++
 		second.Close()
 	})
 	calls := 0
-	second = e.Trace(func(Time, string) { calls++ })
+	second = e.Trace(func(Time, string, int) { calls++ })
 	e.Schedule(Second, "x", func() {})
 	e.Schedule(2*Second, "y", func() {})
 	if err := e.Drain(10); err != nil {
@@ -79,7 +79,7 @@ func TestTracerCloseDuringDispatch(t *testing.T) {
 
 func TestTracerPanicSurfacesFromRunUntil(t *testing.T) {
 	e := NewEngine(1)
-	e.Trace(func(Time, string) { panic("tracer boom") })
+	e.Trace(func(Time, string, int) { panic("tracer boom") })
 	fired := false
 	e.Schedule(Second, "victim", func() { fired = true })
 	err := e.RunUntil(10 * Second)
@@ -105,7 +105,7 @@ func TestTracerPanicSurfacesFromRunUntil(t *testing.T) {
 
 func TestTracerPanicSurfacesFromDrain(t *testing.T) {
 	e := NewEngine(1)
-	e.Trace(func(Time, string) { panic(42) })
+	e.Trace(func(Time, string, int) { panic(42) })
 	e.Schedule(Second, "x", func() {})
 	err := e.Drain(10)
 	var tpe *TracerPanicError
@@ -127,7 +127,7 @@ func TestTraceErrNilWithoutPanic(t *testing.T) {
 
 func TestTraceErrManualStep(t *testing.T) {
 	e := NewEngine(1)
-	e.Trace(func(Time, string) { panic("boom") })
+	e.Trace(func(Time, string, int) { panic("boom") })
 	e.Schedule(Second, "x", func() {})
 	if !e.Step() {
 		t.Fatal("Step found no event")

@@ -191,8 +191,8 @@ func ExportFiles(rec *Recorder, traceOut, eventsOut, metricsOut string) error {
 // TextTracer returns a legacy stringly tracer that prints kernel events
 // to w in the old "-trace" stdout format, for callers that want live
 // output instead of a post-run export.
-func TextTracer(w io.Writer) func(t sim.Time, name string) {
-	return func(t sim.Time, name string) {
+func TextTracer(w io.Writer) func(t sim.Time, name string, queueDepth int) {
+	return func(t sim.Time, name string, _ int) {
 		fmt.Fprintf(w, "%v %s\n", t, name)
 	}
 }

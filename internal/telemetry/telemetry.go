@@ -114,7 +114,7 @@ type Options struct {
 // DefaultEventCapacity is the ring size used when Options.EventCapacity
 // is zero: large enough for minutes of simulated activity, small enough
 // to stay cache-friendly.
-const DefaultEventCapacity = 1 << 14
+const DefaultEventCapacity = 1 << 12
 
 // Recorder is the typed event tracer: a fixed-size ring of structured
 // events plus the standard metric instruments every subsystem feeds.
@@ -122,7 +122,15 @@ const DefaultEventCapacity = 1 << 14
 type Recorder struct {
 	enabled bool
 	buf     []Event
-	total   uint64 // events ever appended; ring index = total % cap
+	w       int    // next ring slot to write; wraps at len(buf)
+	total   uint64 // events ever appended
+
+	// qDepth/qMax shadow the sim.queue_depth{,_max} gauges: the kernel
+	// tracer updates these plain fields (two integer stores on the
+	// recorder's hot cache line) and Metrics() syncs them into the
+	// registry, so the per-event path skips two nil-checked gauge calls.
+	qDepth int
+	qMax   int
 
 	metrics *Metrics
 
@@ -192,15 +200,14 @@ func (r *Recorder) SetEnabled(v bool) {
 	}
 }
 
-// attach registers the kernel tracer on the instrumented engine.
+// attach registers the kernel tracer on the instrumented engine. The
+// callback is recordSimEvent itself as a method value — no closure, no
+// QueueLen round-trip; the engine hands the queue depth over.
 func (r *Recorder) attach() {
 	if r.engine == nil || r.tracer != nil {
 		return
 	}
-	e := r.engine
-	r.tracer = e.Trace(func(t sim.Time, name string) {
-		r.RecordSimEvent(t, name, e.QueueLen())
-	})
+	r.tracer = r.engine.Trace(r.recordSimEvent)
 }
 
 // detach unregisters the kernel tracer.
@@ -211,20 +218,35 @@ func (r *Recorder) detach() {
 	}
 }
 
-// Metrics returns the recorder's registry, nil for a nil recorder.
+// Metrics returns the recorder's registry, nil for a nil recorder. The
+// queue-depth gauges are synced from their shadow fields here — every
+// snapshot/export path reads the registry through this accessor.
 func (r *Recorder) Metrics() *Metrics {
 	if r == nil {
 		return nil
 	}
+	r.gQueue.Set(float64(r.qDepth))
+	r.gQueueMax.Set(float64(r.qMax))
 	return r.metrics
 }
 
-// append pushes ev into the ring, overwriting the oldest once full.
-func (r *Recorder) append(ev Event) {
-	if len(r.buf) > 0 {
-		r.buf[r.total%uint64(len(r.buf))] = ev
-	}
+// slot advances the ring and returns the slot for the next event (nil
+// when event recording is off, i.e. negative capacity). Callers write
+// every field in place: compared to building an Event and copying it
+// in, this skips a ~100-byte struct copy and the modulo of the old
+// total-based indexing on every emission — the recording fast path is
+// exactly what the enabled-overhead gate spends its budget on.
+func (r *Recorder) slot() *Event {
 	r.total++
+	if len(r.buf) == 0 {
+		return nil
+	}
+	ev := &r.buf[r.w]
+	r.w++
+	if r.w == len(r.buf) {
+		r.w = 0
+	}
+	return ev
 }
 
 // RecordSimEvent records one kernel event firing and samples the queue
@@ -233,11 +255,29 @@ func (r *Recorder) RecordSimEvent(t sim.Time, name string, queueDepth int) {
 	if r == nil || !r.enabled {
 		return
 	}
+	r.recordSimEvent(t, name, queueDepth)
+}
+
+// recordSimEvent is RecordSimEvent past the gate. The kernel tracer
+// calls it directly: the tracer is only registered while the recorder
+// is enabled (attach/detach track SetEnabled), so re-checking the gate
+// on every fired event would buy nothing on the hottest record path.
+func (r *Recorder) recordSimEvent(t sim.Time, name string, queueDepth int) {
 	r.cSim.Inc()
-	d := float64(queueDepth)
-	r.gQueue.Set(d)
-	r.gQueueMax.SetMax(d)
-	r.append(Event{T: t, Kind: KindSimEvent, Name: name, V0: d})
+	r.qDepth = queueDepth
+	if queueDepth > r.qMax {
+		r.qMax = queueDepth
+	}
+	if ev := r.slot(); ev != nil {
+		ev.T = t
+		ev.Kind = KindSimEvent
+		ev.Name = name
+		ev.UID = 0
+		ev.From = ""
+		ev.To = ""
+		ev.V0 = float64(queueDepth)
+		ev.V1 = 0
+	}
 }
 
 // RecordLifecycle records an activity lifecycle transition.
@@ -246,7 +286,16 @@ func (r *Recorder) RecordLifecycle(t sim.Time, uid app.UID, component, from, to 
 		return
 	}
 	r.cLifecycle.Inc()
-	r.append(Event{T: t, Kind: KindLifecycle, Name: component, UID: uid, From: from, To: to})
+	if ev := r.slot(); ev != nil {
+		ev.T = t
+		ev.Kind = KindLifecycle
+		ev.Name = component
+		ev.UID = uid
+		ev.From = from
+		ev.To = to
+		ev.V0 = 0
+		ev.V1 = 0
+	}
 }
 
 // RecordPowerState records a hardware power-state change on component
@@ -257,7 +306,16 @@ func (r *Recorder) RecordPowerState(t sim.Time, uid app.UID, name string, old, n
 		return
 	}
 	r.cPower.Inc()
-	r.append(Event{T: t, Kind: KindPowerState, Name: name, UID: uid, V0: old, V1: new})
+	if ev := r.slot(); ev != nil {
+		ev.T = t
+		ev.Kind = KindPowerState
+		ev.Name = name
+		ev.UID = uid
+		ev.From = ""
+		ev.To = ""
+		ev.V0 = old
+		ev.V1 = new
+	}
 }
 
 // RecordBattery records one accrued battery interval: drainedJ joules
@@ -267,7 +325,16 @@ func (r *Recorder) RecordBattery(t sim.Time, drainedJ, pct float64) {
 		return
 	}
 	r.cBattery.Inc()
-	r.append(Event{T: t, Kind: KindBattery, Name: "battery", V0: drainedJ, V1: pct})
+	if ev := r.slot(); ev != nil {
+		ev.T = t
+		ev.Kind = KindBattery
+		ev.Name = "battery"
+		ev.UID = 0
+		ev.From = ""
+		ev.To = ""
+		ev.V0 = drainedJ
+		ev.V1 = pct
+	}
 }
 
 // RecordAttribution records joules landing in uid's ledger over one
@@ -283,7 +350,16 @@ func (r *Recorder) RecordAttribution(t sim.Time, uid app.UID, joules float64) {
 		r.hUIDJ[uid] = h
 	}
 	h.Observe(joules)
-	r.append(Event{T: t, Kind: KindAttribution, Name: "attribution", UID: uid, V0: joules})
+	if ev := r.slot(); ev != nil {
+		ev.T = t
+		ev.Kind = KindAttribution
+		ev.Name = "attribution"
+		ev.UID = uid
+		ev.From = ""
+		ev.To = ""
+		ev.V0 = joules
+		ev.V1 = 0
+	}
 }
 
 // RecordViolation records one invariant violation from the check
@@ -295,7 +371,16 @@ func (r *Recorder) RecordViolation(t sim.Time, invariant, detail string, got, wa
 		return
 	}
 	r.cViolation.Inc()
-	r.append(Event{T: t, Kind: KindViolation, Name: invariant, To: detail, V0: got, V1: want})
+	if ev := r.slot(); ev != nil {
+		ev.T = t
+		ev.Kind = KindViolation
+		ev.Name = invariant
+		ev.UID = 0
+		ev.From = ""
+		ev.To = detail
+		ev.V0 = got
+		ev.V1 = want
+	}
 }
 
 // ObserveComponentMW feeds one accrued interval's mean power draw for a
@@ -344,9 +429,8 @@ func (r *Recorder) Events() []Event {
 		return out
 	}
 	out := make([]Event, 0, n)
-	start := r.total % n
-	out = append(out, r.buf[start:]...)
-	out = append(out, r.buf[:start]...)
+	out = append(out, r.buf[r.w:]...) // r.w is the oldest slot once wrapped
+	out = append(out, r.buf[:r.w]...)
 	return out
 }
 
