@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench telemetry-bench check-bench fuzz-short clean
+.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench telemetry-bench check-bench obsv-bench obsv-smoke fuzz-short clean
 
 all: build test
 
@@ -22,7 +22,7 @@ test-checked:
 # cleanliness of internal/fleet (and of the packages that drive it) is
 # an acceptance gate for every PR that touches concurrency.
 race:
-	$(GO) test -race -count=1 ./internal/fleet/... ./internal/telemetry/... ./internal/experiments/... .
+	$(GO) test -race -count=1 ./internal/fleet/... ./internal/telemetry/... ./internal/experiments/... ./internal/obsv/... .
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,18 @@ telemetry-bench:
 # (and enforce the passive-checks <= 5% gate).
 check-bench:
 	$(GO) run ./cmd/benchsuite -check
+
+# Regenerate the BENCH_obsv.json observability overhead artifact (and
+# enforce the obsv-off <= 1% gate).
+obsv-bench:
+	$(GO) run ./cmd/benchsuite -obsv
+
+# End-to-end smoke of the live observability plane: an ephemeral-port
+# server over a real attack run (healthz/readyz, /metrics parses, one
+# SSE tick, clean shutdown) plus the eandroid-sim -serve path.
+obsv-smoke:
+	$(GO) test -run 'TestServerSmoke|TestServerFleetEndpoints' -count=1 -v ./internal/obsv
+	$(GO) test -run 'TestServeFlag' -count=1 -v ./cmd/...
 
 # 30-second randomized invariant hunt (the CI smoke; run longer locally
 # with -fuzztime).

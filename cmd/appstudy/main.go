@@ -8,6 +8,7 @@
 //	appstudy
 //	appstudy -n 5000 -seed 7
 //	appstudy -categories        # also print the per-category breakdown
+//	appstudy -n 100000 -serve 127.0.0.1:8080   # live /debug/pprof during big corpora
 package main
 
 import (
@@ -17,7 +18,12 @@ import (
 	"sort"
 
 	"repro/internal/appstore"
+	"repro/internal/obsv"
 )
+
+// serveStop, when non-nil, ends a -serve wait as soon as it closes;
+// the CLI tests use it in place of Ctrl-C.
+var serveStop chan struct{}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -31,8 +37,20 @@ func run(args []string) error {
 	n := fs.Int("n", appstore.DefaultCorpusSize, "corpus size")
 	seed := fs.Int64("seed", 42, "corpus seed")
 	cats := fs.Bool("categories", false, "print per-category breakdown")
+	serveAddr := fs.String("serve", "", "serve liveness and /debug/pprof on this address; blocks after the run until interrupted")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The corpus study has no device, so -serve exposes only liveness
+	// and the profiling endpoints — enough to pprof a big -n run live.
+	var srv *obsv.Server
+	if *serveAddr != "" {
+		srv = obsv.NewServer()
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "appstudy: serving http://%s (/healthz, /debug/pprof/)\n", bound)
 	}
 	corpus, err := appstore.Generate(*n, *seed)
 	if err != nil {
@@ -56,6 +74,9 @@ func run(args []string) error {
 		for _, c := range names {
 			fmt.Printf("    %-18s %d\n", c, study.PerCategory[c])
 		}
+	}
+	if srv != nil {
+		return srv.AwaitShutdown(serveStop)
 	}
 	return nil
 }

@@ -57,3 +57,41 @@ func TestBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// TestObsvBenchWritesArtifact runs a small observability overhead study
+// and checks the artifact schema. The wall-time gate itself is not
+// asserted here (2 reps on a loaded CI box is not a measurement); the
+// study's sanity side — findings and flame stacks from the stealth
+// run — must hold regardless.
+func TestObsvBenchWritesArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_obsv.json")
+	err := run([]string{"-obsv", "-obsv-reps", "2", "-obsv-out", out})
+	blob, readErr := os.ReadFile(out)
+	if readErr != nil {
+		t.Fatalf("artifact not written (run err: %v): %v", err, readErr)
+	}
+	var art obsvArtifact
+	if jsonErr := json.Unmarshal(blob, &art); jsonErr != nil {
+		t.Fatalf("artifact is not valid JSON: %v", jsonErr)
+	}
+	if art.Reps != 2 || art.BaselineMS <= 0 || art.EnabledMS <= 0 {
+		t.Fatalf("artifact = %+v", art)
+	}
+	if art.Findings == 0 || art.FlameStacks == 0 {
+		t.Fatalf("stealth run produced no observability output: %+v", art)
+	}
+	if art.DisabledGatePct != 1 {
+		t.Fatalf("gate threshold drifted: %+v", art)
+	}
+}
+
+// TestServeFlag: -serve starts the plane and returns once the stop
+// channel closes.
+func TestServeFlag(t *testing.T) {
+	serveStop = make(chan struct{})
+	close(serveStop)
+	defer func() { serveStop = nil }()
+	if err := run([]string{"-energy", "-serve", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+}

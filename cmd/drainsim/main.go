@@ -9,19 +9,27 @@
 //	drainsim -csv            # full per-percent series as CSV
 //	drainsim -workers 5      # sweep the five configurations in parallel
 //	drainsim -trace-out t.json -metrics-out m.txt   # telemetry (serial only)
+//	drainsim -serve 127.0.0.1:8080   # live metrics/pprof (serial only), Ctrl-C to stop
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro/internal/check"
 	"repro/internal/experiments"
+	"repro/internal/obsv"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
 )
+
+// serveStop, when non-nil, ends a -serve wait as soon as it closes;
+// the CLI tests use it in place of Ctrl-C.
+var serveStop chan struct{}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -40,8 +48,14 @@ func run(args []string) error {
 	eventsOut := fs.String("events-out", "", "write the structured event stream as JSONL")
 	metricsOut := fs.String("metrics-out", "", "write a plain-text metrics dump")
 	checks := fs.Bool("check", true, "run the runtime invariant checker; any violation fails the serial sweep (the worker path checks passively per device)")
+	serveAddr := fs.String("serve", "", "serve live observability (metrics, pprof) on this address; blocks after the run until interrupted")
+	logFlag := fs.Bool("log", false, "emit structured logs (deterministic text format) on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *logFlag {
+		scenario.SetWorldLogger(slog.New(obsv.NewLogHandler(os.Stderr, nil, nil)))
+		defer scenario.SetWorldLogger(nil)
 	}
 
 	// Serial sweeps get a fail-fast checker through the world funnel;
@@ -55,13 +69,30 @@ func run(args []string) error {
 	// builds its devices off the serial funnel, so telemetry flags only
 	// make sense for the serial sweep.
 	var rec *telemetry.Recorder
-	if *trace || *traceOut != "" || *eventsOut != "" || *metricsOut != "" {
+	if *trace || *traceOut != "" || *eventsOut != "" || *metricsOut != "" || *serveAddr != "" {
 		if *workers != 1 {
 			return fmt.Errorf("telemetry flags require -workers 1 (the parallel sweep runs one recorder per device internally)")
 		}
 		rec = telemetry.New(telemetry.Options{})
 		scenario.SetWorldTelemetry(rec)
 		defer scenario.SetWorldTelemetry(nil)
+	}
+
+	// -serve starts the plane before the sweep (live /healthz and pprof)
+	// and publishes the recorder's snapshot once the sweep is done.
+	var srv *obsv.Server
+	if *serveAddr != "" {
+		srv = obsv.NewServer()
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "drainsim: serving http://%s (/metrics, /debug/pprof/)\n", bound)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 	}
 
 	var res *experiments.Fig3Result
@@ -91,8 +122,12 @@ func run(args []string) error {
 				fmt.Printf("%s,%d,%.4f\n", c.Name, p.Percent, p.Hours)
 			}
 		}
-		return nil
+	} else {
+		fmt.Println(res.Render())
 	}
-	fmt.Println(res.Render())
+	if srv != nil {
+		srv.PublishSnapshot(rec.Metrics().Snapshot())
+		return srv.AwaitShutdown(serveStop)
+	}
 	return nil
 }

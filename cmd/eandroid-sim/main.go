@@ -9,15 +9,23 @@
 //	eandroid-sim -exp fig9a -trace                      # legacy text trace on stdout
 //	eandroid-sim -exp fig9a -trace-out trace.json       # open in Perfetto
 //	eandroid-sim -exp fig9a -events-out events.jsonl -metrics-out metrics.txt
+//	eandroid-sim -exp fig9a -flame-out flame.txt -flame-html flame.html
+//	eandroid-sim -exp all -serve 127.0.0.1:8080         # live metrics/flame/pprof, Ctrl-C to stop
+//	eandroid-sim -exp fig9a -log                        # structured logs on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"time"
 
 	"repro/internal/check"
+	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/obsv"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
 )
@@ -29,6 +37,10 @@ func main() {
 	}
 }
 
+// serveStop, when non-nil, ends a -serve wait as soon as it closes;
+// the CLI tests use it in place of Ctrl-C.
+var serveStop chan struct{}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("eandroid-sim", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list available experiments")
@@ -37,6 +49,10 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 	eventsOut := fs.String("events-out", "", "write the structured event stream as JSONL")
 	metricsOut := fs.String("metrics-out", "", "write a plain-text metrics dump")
+	flameOut := fs.String("flame-out", "", "write the energy flame graph as collapsed stacks (Brendan Gregg format)")
+	flameHTML := fs.String("flame-html", "", "write the energy flame graph as a self-contained HTML report")
+	serveAddr := fs.String("serve", "", "serve live observability (metrics, flame, watchdog, pprof) on this address; blocks after the run until interrupted")
+	logFlag := fs.Bool("log", false, "emit structured logs (deterministic text format) on stderr")
 	checks := fs.Bool("check", true, "run the runtime invariant checker; any violation fails the run")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,9 +60,10 @@ func run(args []string) error {
 
 	// Telemetry attaches to every serially-built experiment world; the
 	// recorder routes the old stdout -trace callback and the structured
-	// exports through one instrumentation path.
+	// exports through one instrumentation path. -serve implies it: the
+	// /metrics and /watchdog endpoints are views over the recorder.
 	var rec *telemetry.Recorder
-	if *trace || *traceOut != "" || *eventsOut != "" || *metricsOut != "" {
+	if *trace || *traceOut != "" || *eventsOut != "" || *metricsOut != "" || *serveAddr != "" {
 		rec = telemetry.New(telemetry.Options{})
 		scenario.SetWorldTelemetry(rec)
 		defer scenario.SetWorldTelemetry(nil)
@@ -58,7 +75,71 @@ func run(args []string) error {
 		scenario.SetWorldChecks(&check.Options{FailFast: true})
 		defer scenario.SetWorldChecks(nil)
 	}
+	if *logFlag {
+		scenario.SetWorldLogger(slog.New(obsv.NewLogHandler(os.Stderr, nil, nil)))
+		defer scenario.SetWorldLogger(nil)
+	}
 
+	// -serve starts the plane before the run so /healthz and pprof are
+	// live while experiments execute and watchdog findings stream out
+	// over SSE as they happen; snapshot and flame publish at the end.
+	var srv *obsv.Server
+	if *serveAddr != "" {
+		srv = obsv.NewServer()
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "eandroid-sim: serving http://%s (/metrics, /flame, /watchdog, /debug/pprof/)\n", bound)
+	}
+
+	// Flame collection (and, when serving, a live watchdog) attach to
+	// every world through the construction hook. Worlds without an
+	// enabled recorder simply skip the watchdog.
+	var flames []*obsv.FlameCollector
+	var watchdogs []*obsv.Watchdog
+	if *flameOut != "" || *flameHTML != "" || srv != nil {
+		scenario.SetWorldHook(func(dev *device.Device) {
+			flames = append(flames, obsv.AttachFlame(dev))
+			if wd, err := obsv.NewWatchdog(dev, obsv.WatchdogOptions{}); err == nil {
+				if srv != nil {
+					wd.Subscribe(srv.PublishFinding)
+				}
+				wd.Start()
+				watchdogs = append(watchdogs, wd)
+			}
+		})
+		defer scenario.SetWorldHook(nil)
+	}
+
+	err := runExperiments(list, exp, rec, *trace, *traceOut, *eventsOut, *metricsOut)
+	if err == nil {
+		for _, wd := range watchdogs {
+			wd.Finish()
+		}
+		err = exportFlames(flames, *flameOut, *flameHTML, *exp)
+	}
+	if srv == nil {
+		return err
+	}
+	if err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		return err
+	}
+	if rec != nil {
+		srv.PublishSnapshot(rec.Metrics().Snapshot())
+	}
+	if len(flames) > 0 {
+		srv.PublishFlame(obsv.MergeFlames(flameList(flames)...))
+	}
+	return srv.AwaitShutdown(serveStop)
+}
+
+// runExperiments is the pre-obsv body of the command: list, run one or
+// all experiments, export telemetry.
+func runExperiments(list *bool, exp *string, rec *telemetry.Recorder, trace bool, traceOut, eventsOut, metricsOut string) error {
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
 		for _, s := range experiments.All() {
@@ -78,7 +159,7 @@ func run(args []string) error {
 			}
 			fmt.Println(r.Render())
 		}
-		return export(rec, *trace, *traceOut, *eventsOut, *metricsOut)
+		return export(rec, trace, traceOut, eventsOut, metricsOut)
 	}
 
 	spec, err := experiments.ByID(*exp)
@@ -90,7 +171,52 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Println(r.Render())
-	return export(rec, *trace, *traceOut, *eventsOut, *metricsOut)
+	return export(rec, trace, traceOut, eventsOut, metricsOut)
+}
+
+// flameList folds each collector once.
+func flameList(cs []*obsv.FlameCollector) []*obsv.Flame {
+	out := make([]*obsv.Flame, len(cs))
+	for i, c := range cs {
+		out[i] = c.Fold()
+	}
+	return out
+}
+
+// exportFlames merges every world's flame and writes the requested
+// renderings.
+func exportFlames(cs []*obsv.FlameCollector, outTxt, outHTML, title string) error {
+	if outTxt == "" && outHTML == "" {
+		return nil
+	}
+	merged := obsv.MergeFlames(flameList(cs)...)
+	if outTxt != "" {
+		f, err := os.Create(outTxt)
+		if err != nil {
+			return err
+		}
+		if err := merged.WriteCollapsed(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if outHTML != "" {
+		f, err := os.Create(outHTML)
+		if err != nil {
+			return err
+		}
+		if err := merged.WriteHTML(f, "eandroid-sim "+title); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // export flushes the recorder to the requested sinks after a run.

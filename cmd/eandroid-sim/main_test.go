@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -64,5 +65,49 @@ func TestTelemetryExports(t *testing.T) {
 		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
 			t.Fatalf("export %s missing or empty (err=%v)", p, err)
 		}
+	}
+}
+
+// TestFlameExports: -flame-out / -flame-html write non-empty,
+// well-formed renderings of the experiment's energy flame.
+func TestFlameExports(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "flame.txt")
+	html := filepath.Join(dir, "flame.html")
+	if err := run([]string{"-exp", "fig9a", "-flame-out", txt, "-flame-html", html}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 || !strings.Contains(string(blob), ";") {
+		t.Fatalf("collapsed flame looks wrong: %q", blob)
+	}
+	page, err := os.ReadFile(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page), "<!DOCTYPE html>") {
+		t.Fatalf("flame HTML missing doctype")
+	}
+}
+
+// TestServeFlag: -serve starts the plane on an ephemeral port, runs the
+// experiment, publishes, and shuts down when the stop channel closes.
+func TestServeFlag(t *testing.T) {
+	serveStop = make(chan struct{})
+	close(serveStop)
+	defer func() { serveStop = nil }()
+	if err := run([]string{"-exp", "fig9a", "-serve", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogFlag: -log attaches the deterministic slog handler without
+// disturbing the run.
+func TestLogFlag(t *testing.T) {
+	if err := run([]string{"-exp", "fig9a", "-log"}); err != nil {
+		t.Fatal(err)
 	}
 }

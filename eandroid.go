@@ -31,6 +31,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/intent"
 	"repro/internal/manifest"
+	"repro/internal/obsv"
 	"repro/internal/power"
 	"repro/internal/service"
 	"repro/internal/telemetry"
@@ -241,6 +242,64 @@ type (
 // WriteTrace exports recorded events as Chrome trace-event JSON
 // (loadable in Perfetto or chrome://tracing).
 var WriteTrace = telemetry.WriteTrace
+
+// Observability API: the live plane layered over telemetry. ObsvServer
+// is a stdlib-only HTTP surface (Prometheus /metrics, health probes,
+// pprof, fleet/watchdog SSE, flame graphs); FlameCollector folds the
+// meter's attribution stream into energy flame graphs; Watchdog is the
+// streaming drain-anomaly detector (the paper's esDiagnose signal);
+// LogHandler is a deterministic virtual-time slog handler for
+// Config.Logger.
+type (
+	// ObsvServer is the live observability HTTP server.
+	ObsvServer = obsv.Server
+	// Flame is a folded energy flame graph (collapsed stacks).
+	Flame = obsv.Flame
+	// FlameCollector accumulates one device's attribution stream.
+	FlameCollector = obsv.FlameCollector
+	// Watchdog is the rolling-window drain-anomaly detector.
+	Watchdog = obsv.Watchdog
+	// WatchdogOptions configures a Watchdog (window, thresholds).
+	WatchdogOptions = obsv.WatchdogOptions
+	// WatchdogFinding is one anomaly the watchdog flagged.
+	WatchdogFinding = obsv.Finding
+	// LogHandler is the deterministic virtual-time slog handler.
+	LogHandler = obsv.LogHandler
+)
+
+// Watchdog finding signal names.
+const (
+	SignalDrainSpike  = obsv.SignalDrainSpike
+	SignalDeviceSpike = obsv.SignalDeviceSpike
+	SignalDivergence  = obsv.SignalDivergence
+)
+
+// NewObsvServer builds an (unstarted) observability server; call
+// Start(addr) to bind and AwaitShutdown to block until interrupted.
+func NewObsvServer() *ObsvServer { return obsv.NewServer() }
+
+// AttachFlame subscribes a flame collector to a device's meter; Fold it
+// after the run (or merge several with MergeFlames).
+func AttachFlame(dev *Device) *FlameCollector { return obsv.AttachFlame(dev) }
+
+// MergeFlames sums several folded flames into one.
+func MergeFlames(flames ...*Flame) *Flame { return obsv.MergeFlames(flames...) }
+
+// NewWatchdog attaches a drain-anomaly watchdog to a device. The device
+// needs an enabled telemetry recorder; call Start before the run and
+// Finish after it.
+func NewWatchdog(dev *Device, opts WatchdogOptions) (*Watchdog, error) {
+	return obsv.NewWatchdog(dev, opts)
+}
+
+// WritePrometheus renders a telemetry snapshot in Prometheus text
+// exposition format.
+var WritePrometheus = obsv.WritePrometheus
+
+// NewLogHandler builds the deterministic slog handler for Config.Logger
+// (virtual-time timestamps via now; nil now omits timestamps, nil level
+// means Info).
+var NewLogHandler = obsv.NewLogHandler
 
 // Service-facing aliases used by advanced callers.
 type (

@@ -34,6 +34,7 @@ package check
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -189,6 +190,10 @@ type Deps struct {
 	Ledger     Ledger
 	Packages   *app.PackageManager
 	Telemetry  *telemetry.Recorder
+	// Logger, when non-nil, receives one structured Warn per recorded
+	// violation (virtual-time deterministic when built with
+	// obsv.NewLogHandler).
+	Logger *slog.Logger
 }
 
 // Checker observes a device through the meter's sink interface and the
@@ -285,6 +290,10 @@ func (c *Checker) report(inv Invariant, detail string, got, want, eps float64) {
 		c.dropped++
 	}
 	c.deps.Telemetry.RecordViolation(v.T, inv.String(), detail, got, want)
+	if c.deps.Logger != nil {
+		c.deps.Logger.Warn("invariant violation",
+			"invariant", inv.String(), "detail", detail, "got", got, "want", want)
+	}
 	if c.opts.FailFast && !c.failed {
 		c.failed = true
 		c.deps.Engine.Fail(&ViolationError{V: v})

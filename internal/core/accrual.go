@@ -172,6 +172,20 @@ func (m *Monitor) CollateralJ(driving app.UID) float64 {
 	return t
 }
 
+// Drivers returns every app that currently owns a non-empty collateral
+// map, in ascending UID order. The observability watchdog polls this to
+// enumerate divergence candidates without touching the accrual path.
+func (m *Monitor) Drivers() []app.UID {
+	out := make([]app.UID, 0, len(m.maps))
+	for uid, mp := range m.maps {
+		if len(mp) > 0 {
+			out = append(out, uid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // OwnJ reports the raw hardware energy uid's own components drew
 // (excluding screen), as tracked by the monitor.
 func (m *Monitor) OwnJ(uid app.UID) float64 { return m.ownJ[uid] }

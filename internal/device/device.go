@@ -7,6 +7,7 @@ package device
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 	"time"
 
@@ -71,6 +72,11 @@ type Config struct {
 	// only across devices run sequentially on the same goroutine (a
 	// fleet worker), never across concurrent devices.
 	Events *sim.EventPool
+	// Logger, when non-nil, receives structured logs from the device's
+	// subsystems (check violations, the obsv watchdog). Use
+	// obsv.NewLogHandler for a deterministic, virtual-time handler; nil
+	// keeps the device silent (every log site is nil-checked).
+	Logger *slog.Logger
 }
 
 // Device is a fully wired simulated smartphone.
@@ -105,6 +111,9 @@ type Device struct {
 	// Checker is the runtime invariant checker, nil when the device
 	// runs unchecked. Read violations with FinishChecks.
 	Checker *check.Checker
+	// Log is the structured logger from Config.Logger, nil when the
+	// device runs silent.
+	Log *slog.Logger
 }
 
 // foregroundAdapter feeds foreground changes into the accountant,
@@ -232,6 +241,7 @@ func New(cfg Config) (*Device, error) {
 		Aggregator: agg,
 		Android:    acc,
 		Telemetry:  cfg.Telemetry,
+		Log:        cfg.Logger,
 	}
 
 	if cfg.EAndroid {
@@ -274,6 +284,7 @@ func New(cfg Config) (*Device, error) {
 			Ledger:     acc,
 			Packages:   pm,
 			Telemetry:  cfg.Telemetry,
+			Logger:     cfg.Logger,
 		})
 		if err != nil {
 			return nil, err

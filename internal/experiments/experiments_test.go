@@ -12,8 +12,8 @@ import (
 
 func TestAllRegistryResolves(t *testing.T) {
 	specs := All()
-	if len(specs) != 19 {
-		t.Fatalf("experiments = %d, want 19 (15 paper variants + 4 extensions)", len(specs))
+	if len(specs) != 20 {
+		t.Fatalf("experiments = %d, want 20 (15 paper variants + 5 extensions)", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {

@@ -15,10 +15,12 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/app"
@@ -57,6 +59,37 @@ type Spec struct {
 	// and the index-order merge in FleetResult.Metrics, which is
 	// byte-identical across worker counts.
 	Telemetry *telemetry.Options
+	// Progress, when non-nil, is called once per finished device, from
+	// the worker goroutine that ran it. It MUST be safe for concurrent
+	// calls (the obsv.FleetTracker hook is); completion order is
+	// scheduling-dependent, so treat it as a live feed, not a
+	// determinism surface.
+	Progress func(Progress)
+	// Logger, when non-nil, receives one structured Info per finished
+	// device (Warn on failure). Like Progress it is called from worker
+	// goroutines; obsv.NewLogHandler serializes writes internally.
+	Logger *slog.Logger
+}
+
+// Progress is one device-completion tick of a fleet run: the live feed
+// behind the obsv server's /fleet endpoint.
+type Progress struct {
+	// Index is the finished device's position in the fleet.
+	Index int `json:"index"`
+	// Done is how many devices have finished so far (including this
+	// one); Total is the fleet size.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// BatteryPct and DrainedJ summarize the device's battery at harvest.
+	BatteryPct float64 `json:"battery_pct"`
+	DrainedJ   float64 `json:"drained_j"`
+	// Attacks counts the monitor's recorded attacks (zero when the
+	// monitor is off); Violations counts invariant violations.
+	Attacks    int `json:"attacks"`
+	Violations int `json:"violations"`
+	// Failed reports a device that ended in error; Err carries its text.
+	Failed bool   `json:"failed"`
+	Err    string `json:"err,omitempty"`
 }
 
 // Result is the harvest of one device's run. The standard energy and
@@ -206,6 +239,7 @@ func Run(ctx context.Context, spec Spec) (*FleetResult, error) {
 
 	results := make([]Result, spec.Devices)
 	stats := make([]WorkerStat, workers)
+	var done atomic.Int64
 	poolStart := time.Now()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -225,6 +259,7 @@ func Run(ctx context.Context, spec Spec) (*FleetResult, error) {
 				results[i] = runDevice(ctx, spec, i, pool)
 				stats[w].Busy += time.Since(start)
 				stats[w].Devices++
+				notifyProgress(&spec, &results[i], int(done.Add(1)))
 			}
 		}(w)
 	}
@@ -270,6 +305,41 @@ dispatch:
 		fr.Metrics = merged
 	}
 	return fr, nil
+}
+
+// notifyProgress feeds one finished device into the Progress hook and
+// the fleet logger. done is the completion count including this device.
+func notifyProgress(spec *Spec, res *Result, done int) {
+	if spec.Progress == nil && spec.Logger == nil {
+		return
+	}
+	p := Progress{
+		Index:      res.Index,
+		Done:       done,
+		Total:      spec.Devices,
+		BatteryPct: res.BatteryPct,
+		DrainedJ:   res.DrainedJ,
+		Attacks:    res.Attacks,
+		Violations: len(res.Violations),
+	}
+	if res.Err != nil {
+		p.Failed = true
+		p.Err = res.Err.Error()
+	}
+	if spec.Logger != nil {
+		if p.Failed {
+			spec.Logger.Warn("fleet device failed",
+				"device", p.Index, "done", p.Done, "total", p.Total, "err", p.Err)
+		} else {
+			spec.Logger.Info("fleet device done",
+				"device", p.Index, "done", p.Done, "total", p.Total,
+				"battery_pct", p.BatteryPct, "drained_j", p.DrainedJ,
+				"attacks", p.Attacks, "violations", p.Violations)
+		}
+	}
+	if spec.Progress != nil {
+		spec.Progress(p)
+	}
 }
 
 // runDevice builds, scripts, runs and harvests one device, converting

@@ -30,6 +30,11 @@ type Aggregator struct {
 	meter   *Meter
 	entries map[any]demandEntry
 	cpu     map[app.UID]float64
+	// order holds the live entry keys in insertion order, so iteration
+	// (EachEntry) is deterministic without per-call sorting. Churn is
+	// lifecycle-rate, not per-interval, so the linear delete in Clear is
+	// cheap relative to the transitions it rides on.
+	order []any
 }
 
 // NewAggregator returns an aggregator driving the given meter.
@@ -71,6 +76,9 @@ func (g *Aggregator) Set(key any, uid app.UID, d Demand) error {
 		return err
 	}
 	g.entries[key] = demandEntry{uid: uid, demand: d}
+	if !existed {
+		g.order = append(g.order, key)
+	}
 	g.recomputeCPU(uid)
 	g.mustApplyHolds(uid, prev.demand, d)
 	return nil
@@ -87,6 +95,12 @@ func (g *Aggregator) Clear(key any) error {
 		return err
 	}
 	delete(g.entries, key)
+	for i, k := range g.order {
+		if k == key {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
 	g.recomputeCPU(prev.uid)
 	g.mustApplyHolds(prev.uid, prev.demand, Demand{})
 	return nil
@@ -178,6 +192,17 @@ func (g *Aggregator) Has(key any) bool {
 
 // Entries reports the number of live demand entries.
 func (g *Aggregator) Entries() int { return len(g.entries) }
+
+// EachEntry calls fn for every live demand entry in insertion order —
+// a deterministic order with no per-call sorting. The observability
+// flame-graph collector uses it to split a UID's metered energy across
+// the framework entities that demanded it.
+func (g *Aggregator) EachEntry(fn func(key any, uid app.UID, d Demand)) {
+	for _, k := range g.order {
+		e := g.entries[k]
+		fn(k, e.uid, e.demand)
+	}
+}
 
 // Audit recomputes every per-UID CPU sum from the live entries and
 // compares it against both the cached totals and the meter's clamped

@@ -1,0 +1,157 @@
+package obsv
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/accounting"
+	"repro/internal/device"
+	"repro/internal/scenario"
+)
+
+// flameWorld runs scene #1 with a collector attached and returns the
+// folded flame plus the device's total drain.
+func flameWorld(t *testing.T) (*Flame, float64) {
+	t.Helper()
+	w, err := scenario.NewWorld(device.Config{EAndroid: true, Policy: accounting.BatteryStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := AttachFlame(w.Dev)
+	if err := w.Scene1MessageFilm(); err != nil {
+		t.Fatal(err)
+	}
+	w.Dev.Flush()
+	return fc.Fold(), w.Dev.DrainedJ()
+}
+
+// TestFlameTotalsMatchDrain: the flame is a lossless re-bucketing of
+// the meter's output — its total must equal the battery's drain.
+func TestFlameTotalsMatchDrain(t *testing.T) {
+	f, drained := flameWorld(t)
+	if len(f.Stacks) == 0 {
+		t.Fatal("empty flame")
+	}
+	if diff := math.Abs(f.TotalJ() - drained); diff > 1e-6 {
+		t.Fatalf("flame total %.9f J vs drained %.9f J (diff %g)", f.TotalJ(), drained, diff)
+	}
+}
+
+// TestFlameCollapsedFormat: Brendan Gregg grammar — "a;b;c weight",
+// sorted lines, positive integer weights, three-frame stacks.
+func TestFlameCollapsedFormat(t *testing.T) {
+	f, _ := flameWorld(t)
+	var b strings.Builder
+	if err := f.WriteCollapsed(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no collapsed lines")
+	}
+	var sawCamera bool
+	for i, line := range lines {
+		if i > 0 && lines[i-1] >= line {
+			t.Fatalf("lines not strictly sorted: %q then %q", lines[i-1], line)
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		stack, weight := line[:idx], line[idx+1:]
+		uj, err := strconv.ParseInt(weight, 10, 64)
+		if err != nil || uj <= 0 {
+			t.Fatalf("bad weight in %q", line)
+		}
+		if got := len(strings.Split(stack, ";")); got != 3 {
+			t.Fatalf("stack %q has %d frames, want 3 (component;app;entity)", stack, got)
+		}
+		if strings.Contains(stack, "Camera") {
+			sawCamera = true
+		}
+	}
+	if !sawCamera {
+		t.Fatalf("no Camera stack in scene #1 flame:\n%s", out)
+	}
+}
+
+func TestFlameDeterministicAcrossRuns(t *testing.T) {
+	render := func() string {
+		f, _ := flameWorld(t)
+		var b strings.Builder
+		if err := f.WriteCollapsed(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatal("two identical runs produced different collapsed flames")
+	}
+}
+
+func TestMergeFlames(t *testing.T) {
+	a := &Flame{Stacks: map[string]float64{"x;a;e": 1, "y;b;e": 2}}
+	b := &Flame{Stacks: map[string]float64{"x;a;e": 3}}
+	m := MergeFlames(a, nil, b)
+	if m.Stacks["x;a;e"] != 4 || m.Stacks["y;b;e"] != 2 || len(m.Stacks) != 2 {
+		t.Fatalf("merge = %+v", m.Stacks)
+	}
+}
+
+func TestFlameHTMLReport(t *testing.T) {
+	f, _ := flameWorld(t)
+	var b strings.Builder
+	if err := f.WriteHTML(&b, "test <title>"); err != nil {
+		t.Fatal(err)
+	}
+	html := b.String()
+	for _, want := range []string{"<!DOCTYPE html>", "test &lt;title&gt;", "class=\"frame", "</html>"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("HTML report missing %q", want)
+		}
+	}
+	var c strings.Builder
+	if err := f.WriteHTML(&c, "test <title>"); err != nil {
+		t.Fatal(err)
+	}
+	if html != c.String() {
+		t.Fatal("HTML report is not byte-deterministic")
+	}
+}
+
+func TestSanitizeFrame(t *testing.T) {
+	if got := sanitizeFrame("a;b c\td\ne"); got != "a_b_c_d_e" {
+		t.Fatalf("sanitizeFrame = %q", got)
+	}
+}
+
+// TestFlameSplitsCPUByUtil: an app's CPU joules split across its
+// entities proportionally to their utilization demand.
+func TestFlameSplitsCPUByUtil(t *testing.T) {
+	w, err := scenario.NewWorld(device.Config{EAndroid: true, Policy: accounting.BatteryStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := AttachFlame(w.Dev)
+	if err := w.ForceScreenOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Attack3ServicePin(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w.Dev.Flush()
+	f := fc.Fold()
+	var victimCPU float64
+	for stack, j := range f.Stacks {
+		if strings.HasPrefix(stack, "cpu;") && strings.Contains(stack, "Victim") {
+			victimCPU += j
+		}
+	}
+	if victimCPU <= 0 {
+		t.Fatalf("no victim CPU energy in flame: %v", f.Stacks)
+	}
+}

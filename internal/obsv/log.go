@@ -1,0 +1,135 @@
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// LogHandler is a deterministic slog.Handler: records render as one
+// line of virtual-time timestamp, level, message and key=value attrs,
+// in the exact order the call site supplied them. Wall-clock times
+// (slog.Record.Time) are ignored entirely — the timestamp comes from
+// the injected virtual clock, so two identical simulations log
+// byte-identical streams. Writes are mutex-serialized, so one handler
+// may be shared across fleet workers.
+type LogHandler struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	now   func() sim.Time
+	level slog.Leveler
+
+	// prefix is the pre-rendered WithAttrs state; groups qualifies
+	// subsequent attr keys (WithGroup).
+	prefix string
+	groups []string
+}
+
+var _ slog.Handler = (*LogHandler)(nil)
+
+// NewLogHandler builds a handler writing to w. now supplies the virtual
+// timestamp (typically engine.Now); nil omits the timestamp column.
+// level is the minimum level, nil means slog.LevelInfo.
+func NewLogHandler(w io.Writer, now func() sim.Time, level slog.Leveler) *LogHandler {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	return &LogHandler{mu: &sync.Mutex{}, w: w, now: now, level: level}
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level.Level()
+}
+
+// Handle implements slog.Handler.
+func (h *LogHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	if h.now != nil {
+		fmt.Fprintf(&b, "%v ", h.now())
+	}
+	b.WriteString(r.Level.String())
+	b.WriteByte(' ')
+	b.WriteString(r.Message)
+	b.WriteString(h.prefix)
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, h.groups, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// WithAttrs implements slog.Handler: attrs are pre-rendered into the
+// line prefix, preserving supplied order.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h2 := *h
+	var b strings.Builder
+	b.WriteString(h.prefix)
+	for _, a := range attrs {
+		appendAttr(&b, h.groups, a)
+	}
+	h2.prefix = b.String()
+	return &h2
+}
+
+// WithGroup implements slog.Handler: subsequent attr keys are qualified
+// as group.key.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	h2 := *h
+	h2.groups = append(append([]string(nil), h.groups...), name)
+	return &h2
+}
+
+// appendAttr renders one attr as " key=value", flattening groups into
+// dotted keys and dropping empty attrs, per the slog handler contract.
+func appendAttr(b *strings.Builder, groups []string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		gs := v.Group()
+		if len(gs) == 0 {
+			return
+		}
+		inner := groups
+		if a.Key != "" {
+			inner = append(append([]string(nil), groups...), a.Key)
+		}
+		for _, ga := range gs {
+			appendAttr(b, inner, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	b.WriteByte(' ')
+	for _, g := range groups {
+		b.WriteString(g)
+		b.WriteByte('.')
+	}
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	b.WriteString(formatLogValue(v))
+}
+
+// formatLogValue renders a resolved value deterministically: floats use
+// shortest-exact formatting (slog's own float rendering), strings are
+// quoted only when they contain whitespace, '=' or quotes.
+func formatLogValue(v slog.Value) string {
+	s := v.String()
+	if v.Kind() == slog.KindString && strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package obsv
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func virtualClock(at time.Duration) func() sim.Time {
+	return func() sim.Time { return sim.Time(at) }
+}
+
+func TestLogHandlerLineFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(NewLogHandler(&buf, virtualClock(30*time.Second), nil))
+	lg.Info("hello", "k", "v", "n", 3)
+	got := buf.String()
+	want := "T+30s INFO hello k=v n=3\n"
+	if got != want {
+		t.Fatalf("log line = %q, want %q", got, want)
+	}
+}
+
+func TestLogHandlerIgnoresWallClock(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		lg := slog.New(NewLogHandler(&buf, virtualClock(time.Second), nil))
+		lg.Warn("w", "rate_mw", 120.5)
+		return buf.String()
+	}
+	a := render()
+	time.Sleep(2 * time.Millisecond) // wall time moves; output must not
+	if b := render(); a != b {
+		t.Fatalf("wall clock leaked into output: %q vs %q", a, b)
+	}
+	if !strings.HasPrefix(a, "T+1s WARN w rate_mw=120.5") {
+		t.Fatalf("unexpected line %q", a)
+	}
+}
+
+func TestLogHandlerNilClockOmitsTimestamp(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(NewLogHandler(&buf, nil, nil))
+	lg.Info("m")
+	if got := buf.String(); got != "INFO m\n" {
+		t.Fatalf("line = %q", got)
+	}
+}
+
+func TestLogHandlerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(NewLogHandler(&buf, nil, slog.LevelWarn))
+	lg.Info("dropped")
+	lg.Warn("kept")
+	if got := buf.String(); got != "WARN kept\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestLogHandlerGroupsAndAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(NewLogHandler(&buf, nil, nil))
+	lg.WithGroup("fleet").With("device", 3).Info("done", "drained_j", 1.5)
+	if got := buf.String(); got != "INFO done fleet.device=3 fleet.drained_j=1.5\n" {
+		t.Fatalf("output = %q", got)
+	}
+
+	buf.Reset()
+	lg.Info("g", slog.Group("inner", slog.String("a", "b")))
+	if got := buf.String(); got != "INFO g inner.a=b\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestLogHandlerQuotesAwkwardStrings(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(NewLogHandler(&buf, nil, nil))
+	lg.Info("m", "d", "two words", "e", "k=v")
+	if got := buf.String(); got != "INFO m d=\"two words\" e=\"k=v\"\n" {
+		t.Fatalf("output = %q", got)
+	}
+}

@@ -1,0 +1,76 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// WritePrometheus renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-buckets plus _sum and _count.
+// The rendering is byte-deterministic: the snapshot's sections are
+// already name-sorted, floats use Go's shortest-exact formatting, and
+// metric names are sanitized with a fixed rule (every character outside
+// [a-zA-Z0-9_:] becomes '_'). A nil snapshot renders nothing.
+func WritePrometheus(w io.Writer, s *telemetry.Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %s\n", name, name, promFloat(c.Value))
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+		}
+		if len(h.Counts) > len(h.Bounds) {
+			cum += h.Counts[len(h.Bounds)]
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a registry name onto the Prometheus name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r == '_' || r == ':',
+			r >= 'a' && r <= 'z',
+			r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat is the snapshot's shortest-exact float formatting.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,426 @@
+package obsv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/telemetry"
+)
+
+// Server is the live observability plane: a stdlib net/http server
+// exposing
+//
+//	/metrics          Prometheus text exposition of the latest snapshot
+//	/healthz, /readyz liveness / readiness
+//	/debug/pprof/     the standard Go profiling endpoints
+//	/fleet            JSON fleet progress; /fleet/events is its SSE feed
+//	/watchdog         JSON findings; /watchdog/events is its SSE feed
+//	/flame            HTML energy flame report; /flame.txt collapsed stacks
+//
+// The simulation side stays single-goroutine: it publishes immutable
+// values (snapshots, findings, flames) through atomic pointers and a
+// mutex-guarded broker, and HTTP handlers only ever read those
+// published values — the engine itself is never touched from a request
+// goroutine, which is what keeps live serving compatible with the
+// simulator's determinism.
+type Server struct {
+	mux *http.ServeMux
+	srv *http.Server
+	ln  net.Listener
+
+	snap  atomic.Pointer[telemetry.Snapshot]
+	flame atomic.Pointer[Flame]
+	ready atomic.Bool
+
+	watchMu  sync.Mutex
+	findings []Finding
+
+	watchSSE *sseBroker
+	fleetSSE *sseBroker
+
+	trackMu sync.Mutex
+	tracker *FleetTracker
+}
+
+// NewServer builds a server with all routes registered; nothing listens
+// until Start.
+func NewServer() *Server {
+	s := &Server{
+		mux:      http.NewServeMux(),
+		watchSSE: newSSEBroker(),
+		fleetSSE: newSSEBroker(),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.HandleFunc("/fleet", s.handleFleet)
+	s.mux.HandleFunc("/fleet/events", func(w http.ResponseWriter, r *http.Request) {
+		s.fleetSSE.serve(w, r, s.fleetStateFrame())
+	})
+	s.mux.HandleFunc("/watchdog", s.handleWatchdog)
+	s.mux.HandleFunc("/watchdog/events", func(w http.ResponseWriter, r *http.Request) {
+		s.watchSSE.serve(w, r, s.watchdogStateFrame())
+	})
+	s.mux.HandleFunc("/flame", s.handleFlame)
+	s.mux.HandleFunc("/flame.txt", s.handleFlameTxt)
+	s.srv = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler exposes the route mux (for tests driving it without a
+// listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the server, waiting for in-flight requests up to ctx's
+// deadline. SSE streams are closed first so Shutdown does not wait out
+// their subscribers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.watchSSE.closeAll()
+	s.fleetSSE.closeAll()
+	return s.srv.Shutdown(ctx)
+}
+
+// AwaitShutdown blocks until SIGINT/SIGTERM arrives (or stop, when
+// non-nil, closes — CLI tests use it to end a -serve wait immediately),
+// then shuts the started server down with a short grace period. This is
+// the CLIs' -serve tail: start early, publish after the run, then hand
+// the process to the operator until Ctrl-C.
+func (s *Server) AwaitShutdown(stop <-chan struct{}) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case <-sig:
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// PublishSnapshot makes snap the /metrics payload. Call it from the
+// simulation goroutine at safe points (between runs, after flushes);
+// the handler only ever reads whole published snapshots.
+func (s *Server) PublishSnapshot(snap *telemetry.Snapshot) {
+	if snap == nil {
+		return
+	}
+	s.snap.Store(snap)
+	s.ready.Store(true)
+}
+
+// PublishFlame makes f the /flame payload.
+func (s *Server) PublishFlame(f *Flame) {
+	if f == nil {
+		return
+	}
+	s.flame.Store(f)
+}
+
+// PublishFinding records a watchdog finding and pushes it on the
+// /watchdog/events SSE channel. Wire it with wd.Subscribe(srv.PublishFinding).
+func (s *Server) PublishFinding(f Finding) {
+	s.watchMu.Lock()
+	s.findings = append(s.findings, f)
+	s.watchMu.Unlock()
+	if data, err := json.Marshal(f); err == nil {
+		s.watchSSE.publish(sseFrame("finding", string(data)))
+	}
+}
+
+// TrackFleet installs a progress tracker for a fleet of total devices
+// and returns the hook to place in fleet.Spec.Progress. Each call
+// resets the tracked state (one fleet run at a time).
+func (s *Server) TrackFleet(total int) func(fleet.Progress) {
+	t := NewFleetTracker(total)
+	s.trackMu.Lock()
+	s.tracker = t
+	s.trackMu.Unlock()
+	hook := t.Hook()
+	return func(p fleet.Progress) {
+		hook(p)
+		if data, err := json.Marshal(p); err == nil {
+			s.fleetSSE.publish(sseFrame("progress", string(data)))
+		}
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `e-android observability plane
+  /metrics          prometheus text exposition
+  /healthz /readyz  liveness, readiness
+  /debug/pprof/     go profiling
+  /fleet            fleet progress (JSON); /fleet/events (SSE)
+  /watchdog         drain-anomaly findings (JSON); /watchdog/events (SSE)
+  /flame            energy flame graph (HTML); /flame.txt (collapsed stacks)
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w, s.snap.Load())
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	s.trackMu.Lock()
+	t := s.tracker
+	s.trackMu.Unlock()
+	if t == nil {
+		http.Error(w, "no fleet tracked", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(t.State())
+}
+
+func (s *Server) handleWatchdog(w http.ResponseWriter, _ *http.Request) {
+	s.watchMu.Lock()
+	out := make([]Finding, len(s.findings))
+	copy(out, s.findings)
+	s.watchMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Findings []Finding `json:"findings"`
+	}{out})
+}
+
+func (s *Server) handleFlame(w http.ResponseWriter, _ *http.Request) {
+	f := s.flame.Load()
+	if f == nil {
+		http.Error(w, "no flame published", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = f.WriteHTML(w, "energy flame graph")
+}
+
+func (s *Server) handleFlameTxt(w http.ResponseWriter, _ *http.Request) {
+	f := s.flame.Load()
+	if f == nil {
+		http.Error(w, "no flame published", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = f.WriteCollapsed(w)
+}
+
+// fleetStateFrame is the initial SSE frame for /fleet/events: the
+// current fleet state, so a subscriber always gets one tick
+// immediately.
+func (s *Server) fleetStateFrame() []string {
+	s.trackMu.Lock()
+	t := s.tracker
+	s.trackMu.Unlock()
+	var st any
+	if t != nil {
+		st = t.State()
+	} else {
+		st = FleetState{}
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil
+	}
+	return []string{sseFrame("state", string(data))}
+}
+
+// watchdogStateFrame replays all findings so far as the initial frame.
+func (s *Server) watchdogStateFrame() []string {
+	s.watchMu.Lock()
+	out := make([]Finding, len(s.findings))
+	copy(out, s.findings)
+	s.watchMu.Unlock()
+	data, err := json.Marshal(struct {
+		Findings []Finding `json:"findings"`
+	}{out})
+	if err != nil {
+		return nil
+	}
+	return []string{sseFrame("state", string(data))}
+}
+
+// FleetState is the /fleet JSON payload.
+type FleetState struct {
+	Total   int              `json:"total"`
+	Done    int              `json:"done"`
+	Failed  int              `json:"failed"`
+	Devices []fleet.Progress `json:"devices"`
+}
+
+// FleetTracker accumulates fleet.Progress ticks. Its hook is safe for
+// concurrent calls from fleet workers.
+type FleetTracker struct {
+	mu      sync.Mutex
+	total   int
+	devices map[int]fleet.Progress
+}
+
+// NewFleetTracker builds a tracker for a fleet of total devices.
+func NewFleetTracker(total int) *FleetTracker {
+	return &FleetTracker{total: total, devices: make(map[int]fleet.Progress)}
+}
+
+// Hook returns the function to install as fleet.Spec.Progress.
+func (t *FleetTracker) Hook() func(fleet.Progress) {
+	return func(p fleet.Progress) {
+		t.mu.Lock()
+		t.devices[p.Index] = p
+		t.mu.Unlock()
+	}
+}
+
+// State freezes the tracker: devices sorted by index.
+func (t *FleetTracker) State() FleetState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := FleetState{Total: t.total, Done: len(t.devices)}
+	st.Devices = make([]fleet.Progress, 0, len(t.devices))
+	for _, p := range t.devices {
+		st.Devices = append(st.Devices, p)
+		if p.Failed {
+			st.Failed++
+		}
+	}
+	sort.Slice(st.Devices, func(i, j int) bool { return st.Devices[i].Index < st.Devices[j].Index })
+	return st
+}
+
+// sseFrame renders one server-sent event.
+func sseFrame(event, data string) string {
+	return "event: " + event + "\ndata: " + data + "\n\n"
+}
+
+// sseBroker fans frames out to subscribers. Slow subscribers drop
+// frames (non-blocking send into a buffered channel) rather than stall
+// the publisher — the publisher is a fleet worker or the simulation
+// loop, which must never wait on a network peer.
+type sseBroker struct {
+	mu     sync.Mutex
+	subs   map[chan string]struct{}
+	closed bool
+}
+
+func newSSEBroker() *sseBroker {
+	return &sseBroker{subs: make(map[chan string]struct{})}
+}
+
+func (b *sseBroker) publish(frame string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- frame:
+		default: // slow subscriber: drop
+		}
+	}
+}
+
+func (b *sseBroker) subscribe() chan string {
+	ch := make(chan string, 64)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(ch)
+		return ch
+	}
+	b.subs[ch] = struct{}{}
+	return ch
+}
+
+func (b *sseBroker) unsubscribe(ch chan string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[ch]; ok {
+		delete(b.subs, ch)
+	}
+}
+
+func (b *sseBroker) closeAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+		delete(b.subs, ch)
+	}
+}
+
+// serve runs one SSE subscription: initial frames first (so every
+// subscriber sees at least one event immediately), then the live feed
+// until the client disconnects or the broker closes.
+func (b *sseBroker) serve(w http.ResponseWriter, r *http.Request, initial []string) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	for _, f := range initial {
+		_, _ = fmt.Fprint(w, f)
+	}
+	fl.Flush()
+	ch := b.subscribe()
+	defer b.unsubscribe(ch)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := fmt.Fprint(w, frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package obsv
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Watchdog defaults. The spike thresholds are deliberately double-gated
+// (a relative jump AND an absolute floor) so quiet apps waking up and
+// noisy-but-steady apps both stay under the bar.
+const (
+	// DefaultWindow is the rolling detection window.
+	DefaultWindow = 30 * time.Second
+	// DefaultBaseline is how many closed windows of per-UID rate
+	// history the baseline mean averages over.
+	DefaultBaseline = 8
+	// DefaultWarmup is how many closed windows of history a UID needs
+	// before spike judgement starts — fresh UIDs never spike.
+	DefaultWarmup = 3
+	// DefaultSpikeFactor is the rate-over-baseline multiple that flags
+	// a drain spike.
+	DefaultSpikeFactor = 4
+	// DefaultMinRateMW is the absolute drain-rate floor for spikes.
+	DefaultMinRateMW = 75
+	// DefaultDivergenceRatio flags collateral energy growing faster
+	// than this multiple of the driver's own direct energy — the
+	// paper's esDiagnose signal (victims drain, the driver stays
+	// quiet).
+	DefaultDivergenceRatio = 1.5
+	// DefaultMinCollateralMW is the absolute collateral-rate floor for
+	// divergence findings.
+	DefaultMinCollateralMW = 15
+	// DefaultMaxFindings bounds the stored findings slice.
+	DefaultMaxFindings = 512
+)
+
+// WatchdogOptions tunes the detector; zero fields take the defaults
+// above.
+type WatchdogOptions struct {
+	Window          time.Duration
+	Baseline        int
+	Warmup          int
+	SpikeFactor     float64
+	MinRateMW       float64
+	DivergenceRatio float64
+	MinCollateralMW float64
+	MaxFindings     int
+}
+
+func (o *WatchdogOptions) fill() {
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.Baseline <= 0 {
+		o.Baseline = DefaultBaseline
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = DefaultWarmup
+	}
+	if o.SpikeFactor <= 0 {
+		o.SpikeFactor = DefaultSpikeFactor
+	}
+	if o.MinRateMW <= 0 {
+		o.MinRateMW = DefaultMinRateMW
+	}
+	if o.DivergenceRatio <= 0 {
+		o.DivergenceRatio = DefaultDivergenceRatio
+	}
+	if o.MinCollateralMW <= 0 {
+		o.MinCollateralMW = DefaultMinCollateralMW
+	}
+	if o.MaxFindings <= 0 {
+		o.MaxFindings = DefaultMaxFindings
+	}
+}
+
+// Finding signal names.
+const (
+	// SignalDrainSpike is a per-UID direct drain-rate spike.
+	SignalDrainSpike = "drain-spike"
+	// SignalDeviceSpike is a whole-device drain-rate spike.
+	SignalDeviceSpike = "device-drain-spike"
+	// SignalDivergence is collateral-vs-direct energy divergence.
+	SignalDivergence = "collateral-divergence"
+)
+
+// Finding is one watchdog detection.
+type Finding struct {
+	// T is the virtual instant the window closed.
+	T sim.Time `json:"t"`
+	// Signal is one of the Signal* constants.
+	Signal string `json:"signal"`
+	// UID is the flagged app (app.UIDNone for device-level findings).
+	UID app.UID `json:"uid"`
+	// Label is the app's human-readable label.
+	Label string `json:"label"`
+	// RateMW is the offending rate over the closed window; BaselineMW
+	// is what it was judged against (history mean for spikes, the
+	// driver's direct rate for divergence).
+	RateMW     float64 `json:"rate_mw"`
+	BaselineMW float64 `json:"baseline_mw"`
+	// Detail is a rendered one-line description.
+	Detail string `json:"detail"`
+}
+
+// Watchdog is the streaming drain-anomaly detector: it taps the
+// device's telemetry recorder for battery and attribution events,
+// closes a rolling window on a virtual-time ticker, and flags
+//
+//   - per-UID (and whole-device) drain-rate spikes against a rolling
+//     baseline, and
+//   - collateral-vs-direct divergence via the E-Android monitor's
+//     collateral maps (skipped when the monitor is off),
+//
+// recording each finding as a KindAnomaly telemetry event, an optional
+// structured log line, and a fan-out to subscribers (the obsv server's
+// SSE channel). Single-goroutine, like everything else observing the
+// engine; all thresholds and window closes run on virtual time, so
+// findings are deterministic.
+//
+// Findings are raised only for user-quiet windows — windows containing
+// no user touch (power.Manager.LastUserActivity). A user interacting
+// with the device explains its energy: the benign scenes delegate to
+// the camera at a user tap, so their (legitimate) collateral always
+// lands in an interactive window. Every one of the paper's attacks, by
+// contrast, sustains its drain after the user stops touching the
+// device — that user-absent persistence is exactly what makes them
+// attacks, and it is what the watchdog flags. History and baselines
+// keep accumulating through interactive windows; only the judgement is
+// suppressed.
+type Watchdog struct {
+	dev  *device.Device
+	rec  *telemetry.Recorder
+	opts WatchdogOptions
+	log  *slog.Logger
+
+	ticker   *sim.Ticker
+	started  bool
+	finished bool
+
+	winStart sim.Time
+	direct   map[app.UID]float64 // joules attributed this window
+	drainJ   float64             // battery joules drained this window
+
+	hist    map[app.UID][]float64 // closed-window rates, newest last
+	devHist []float64
+	lastCol map[app.UID]float64 // cumulative collateral at last close
+
+	findings []Finding
+	dropped  int
+	subs     []func(Finding)
+}
+
+// NewWatchdog builds a watchdog over dev. The device must carry an
+// enabled telemetry recorder — the watchdog consumes its event tap.
+// The device's Config.Logger, if any, receives one Warn per finding.
+func NewWatchdog(dev *device.Device, opts WatchdogOptions) (*Watchdog, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("obsv: nil device")
+	}
+	if !dev.Telemetry.Enabled() {
+		return nil, fmt.Errorf("obsv: watchdog needs an enabled telemetry recorder (device.Config.Telemetry)")
+	}
+	opts.fill()
+	return &Watchdog{
+		dev:     dev,
+		rec:     dev.Telemetry,
+		opts:    opts,
+		log:     dev.Log,
+		direct:  make(map[app.UID]float64),
+		hist:    make(map[app.UID][]float64),
+		lastCol: make(map[app.UID]float64),
+	}, nil
+}
+
+// Subscribe registers fn to receive every finding as it is recorded
+// (the obsv server's SSE feed). Call before Start.
+func (w *Watchdog) Subscribe(fn func(Finding)) { w.subs = append(w.subs, fn) }
+
+// Start installs the telemetry tap and the window ticker. Idempotent.
+func (w *Watchdog) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.winStart = w.dev.Engine.Now()
+	w.rec.SetTap(w.onEvent)
+	w.ticker = w.dev.Engine.Every(sim.Duration(w.opts.Window), "obsv.watchdog", w.tick)
+}
+
+// Finish stops the detector, closes the partial final window, releases
+// the telemetry tap, and returns the findings. Idempotent.
+func (w *Watchdog) Finish() []Finding {
+	if w.started && !w.finished {
+		w.finished = true
+		w.ticker.Stop()
+		w.dev.Meter.Flush()
+		w.closeWindow(w.dev.Engine.Now())
+		w.rec.SetTap(nil)
+	}
+	return w.Findings()
+}
+
+// Findings returns a copy of the recorded findings.
+func (w *Watchdog) Findings() []Finding {
+	if len(w.findings) == 0 {
+		return nil
+	}
+	out := make([]Finding, len(w.findings))
+	copy(out, w.findings)
+	return out
+}
+
+// Dropped reports findings discarded beyond MaxFindings.
+func (w *Watchdog) Dropped() int { return w.dropped }
+
+// onEvent is the telemetry tap: it accumulates the current window's
+// per-UID attribution and battery drain. KindAnomaly events (the
+// watchdog's own output) fall through the switch, so recording a
+// finding cannot re-enter the detector.
+func (w *Watchdog) onEvent(ev telemetry.Event) {
+	switch ev.Kind {
+	case telemetry.KindAttribution:
+		w.direct[ev.UID] += ev.V0
+	case telemetry.KindBattery:
+		w.drainJ += ev.V0
+	}
+}
+
+// tick fires once per window on the virtual clock.
+func (w *Watchdog) tick() {
+	// Settle accounting up to the window edge; the flushed attribution
+	// events land in the closing window via the tap, synchronously.
+	w.dev.Meter.Flush()
+	w.closeWindow(w.dev.Engine.Now())
+}
+
+// closeWindow judges the window ending at now and resets accumulators.
+func (w *Watchdog) closeWindow(now sim.Time) {
+	span := now.Sub(w.winStart)
+	if span <= 0 {
+		return
+	}
+	secs := time.Duration(span).Seconds()
+
+	// A window the user touched is never judged: interaction explains
+	// drain. Attacks persist into the quiet windows that follow.
+	quiet := w.dev.Power.LastUserActivity().Before(w.winStart)
+
+	// Per-UID spikes, judged and appended to history in sorted UID
+	// order over the union of current and historical UIDs, so
+	// baselines decay deterministically when an app goes quiet.
+	uids := make([]app.UID, 0, len(w.direct)+len(w.hist))
+	seen := make(map[app.UID]bool, cap(uids))
+	for uid := range w.direct {
+		uids = append(uids, uid)
+		seen[uid] = true
+	}
+	for uid := range w.hist {
+		if !seen[uid] {
+			uids = append(uids, uid)
+		}
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	for _, uid := range uids {
+		rate := w.direct[uid] / secs * 1000 // mW
+		if h := w.hist[uid]; quiet && len(h) >= w.opts.Warmup {
+			base := mean(h)
+			if rate >= w.opts.MinRateMW && rate > w.opts.SpikeFactor*base {
+				w.record(Finding{
+					T: now, Signal: SignalDrainSpike, UID: uid,
+					Label: w.dev.Packages.Label(uid), RateMW: rate, BaselineMW: base,
+					Detail: fmt.Sprintf("%s draining %.0f mW against a %.0f mW baseline",
+						w.dev.Packages.Label(uid), rate, base),
+				})
+			}
+		}
+		w.hist[uid] = pushRate(w.hist[uid], rate, w.opts.Baseline)
+	}
+
+	// Whole-device spike against its own rolling baseline.
+	devRate := w.drainJ / secs * 1000
+	if quiet && len(w.devHist) >= w.opts.Warmup {
+		base := mean(w.devHist)
+		if devRate >= w.opts.MinRateMW && devRate > w.opts.SpikeFactor*base {
+			w.record(Finding{
+				T: now, Signal: SignalDeviceSpike, UID: app.UIDNone,
+				Label: "device", RateMW: devRate, BaselineMW: base,
+				Detail: fmt.Sprintf("device draining %.0f mW against a %.0f mW baseline", devRate, base),
+			})
+		}
+	}
+	w.devHist = pushRate(w.devHist, devRate, w.opts.Baseline)
+
+	// Collateral divergence: energy landing in an app's collateral map
+	// much faster than in its own ledger. This is the esDiagnose
+	// signal — every one of the paper's attacks sustains it through
+	// user-quiet windows; the benign scenes' camera delegation is
+	// collateral too, but always inside an interactive window.
+	if mon := w.dev.EAndroid; mon != nil {
+		for _, uid := range mon.Drivers() {
+			var col float64
+			for _, e := range mon.CollateralMap(uid) {
+				col += e.EnergyJ
+			}
+			delta := col - w.lastCol[uid]
+			w.lastCol[uid] = col
+			colRate := delta / secs * 1000
+			directJ := w.direct[uid]
+			if quiet && colRate >= w.opts.MinCollateralMW && delta > w.opts.DivergenceRatio*directJ {
+				directRate := directJ / secs * 1000
+				w.record(Finding{
+					T: now, Signal: SignalDivergence, UID: uid,
+					Label: w.dev.Packages.Label(uid), RateMW: colRate, BaselineMW: directRate,
+					Detail: fmt.Sprintf("%s drives %.0f mW of collateral energy while drawing %.0f mW itself",
+						w.dev.Packages.Label(uid), colRate, directRate),
+				})
+			}
+		}
+	}
+
+	for uid := range w.direct {
+		delete(w.direct, uid)
+	}
+	w.drainJ = 0
+	w.winStart = now
+}
+
+// record stores, exports and fans out one finding.
+func (w *Watchdog) record(f Finding) {
+	if len(w.findings) < w.opts.MaxFindings {
+		w.findings = append(w.findings, f)
+	} else {
+		w.dropped++
+	}
+	w.rec.RecordAnomaly(f.T, f.UID, f.Signal, f.Detail, f.RateMW, f.BaselineMW)
+	if w.log != nil {
+		w.log.Warn("drain anomaly", "signal", f.Signal, "uid", int64(f.UID),
+			"label", f.Label, "rate_mw", f.RateMW, "baseline_mw", f.BaselineMW)
+	}
+	for _, fn := range w.subs {
+		fn(f)
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// pushRate appends r, keeping at most limit entries (newest last).
+func pushRate(h []float64, r float64, limit int) []float64 {
+	h = append(h, r)
+	if len(h) > limit {
+		h = h[len(h)-limit:]
+	}
+	return h
+}

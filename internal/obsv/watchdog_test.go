@@ -1,0 +1,175 @@
+package obsv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestWatchdogRequiresTelemetry: a watchdog without an enabled recorder
+// is a construction error, not a silent no-op.
+func TestWatchdogRequiresTelemetry(t *testing.T) {
+	dev, err := device.New(device.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWatchdog(dev, WatchdogOptions{}); err == nil {
+		t.Fatal("watchdog accepted a device without telemetry")
+	}
+	if _, err := NewWatchdog(nil, WatchdogOptions{}); err == nil {
+		t.Fatal("watchdog accepted a nil device")
+	}
+}
+
+// TestWatchdogSpikeDetection drives the detector with a synthetic
+// attribution stream: a quiet baseline long enough to pass warmup, then
+// a drain burst. Both the per-UID and the device-level spike signals
+// must fire — and only after the burst.
+func TestWatchdogSpikeDetection(t *testing.T) {
+	dev, err := device.New(device.Config{Telemetry: telemetry.New(telemetry.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const uid = app.UID(10001)
+	wd, err := NewWatchdog(dev, WatchdogOptions{Window: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.Start()
+	// 1 Hz feed: 5 mW until t=50s, then 5000 mW.
+	dev.Engine.Every(sim.Duration(time.Second), "feed", func() {
+		now := dev.Engine.Now()
+		j := 0.005
+		if time.Duration(now) >= 50*time.Second {
+			j = 5.0
+		}
+		dev.Telemetry.RecordAttribution(now, uid, j)
+		dev.Telemetry.RecordBattery(now, j, 80)
+	})
+	if err := dev.Run(70 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	findings := wd.Finish()
+	var uidSpike, devSpike *Finding
+	for i := range findings {
+		f := &findings[i]
+		if time.Duration(f.T) <= 50*time.Second {
+			t.Fatalf("finding before the burst: %+v", f)
+		}
+		// Keep the FIRST spike of each kind: later windows fold the
+		// burst into the rolling baseline, inflating BaselineMW.
+		switch {
+		case f.Signal == SignalDrainSpike && f.UID == uid && uidSpike == nil:
+			uidSpike = f
+		case f.Signal == SignalDeviceSpike && devSpike == nil:
+			devSpike = f
+		}
+	}
+	if uidSpike == nil {
+		t.Fatalf("no %s for uid %d in %+v", SignalDrainSpike, uid, findings)
+	}
+	if devSpike == nil {
+		t.Fatalf("no %s in %+v", SignalDeviceSpike, findings)
+	}
+	if uidSpike.RateMW < 1000 || uidSpike.BaselineMW > 100 {
+		t.Fatalf("implausible spike rates: %+v", uidSpike)
+	}
+	// The findings surfaced as telemetry events too.
+	var anomalies int
+	for _, ev := range dev.Telemetry.Events() {
+		if ev.Kind == telemetry.KindAnomaly {
+			anomalies++
+		}
+	}
+	if anomalies != len(findings) {
+		t.Fatalf("%d KindAnomaly events, want %d", anomalies, len(findings))
+	}
+}
+
+// TestWatchdogQuietBaselineStaysClean: the same feed without a burst
+// never alarms.
+func TestWatchdogQuietBaselineStaysClean(t *testing.T) {
+	dev, err := device.New(device.Config{Telemetry: telemetry.New(telemetry.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := NewWatchdog(dev, WatchdogOptions{Window: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.Start()
+	dev.Engine.Every(sim.Duration(time.Second), "feed", func() {
+		dev.Telemetry.RecordAttribution(dev.Engine.Now(), 10001, 0.005)
+		dev.Telemetry.RecordBattery(dev.Engine.Now(), 0.005, 80)
+	})
+	if err := dev.Run(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if f := wd.Finish(); len(f) != 0 {
+		t.Fatalf("quiet baseline produced findings: %+v", f)
+	}
+}
+
+// TestWatchdogUserWindowsSuppressed: a burst inside a window the user
+// touched is not judged; the same burst with the user absent is.
+func TestWatchdogUserWindowsSuppressed(t *testing.T) {
+	run := func(touch bool) []Finding {
+		dev, err := device.New(device.Config{Telemetry: telemetry.New(telemetry.Options{})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, err := NewWatchdog(dev, WatchdogOptions{Window: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd.Start()
+		dev.Engine.Every(sim.Duration(time.Second), "feed", func() {
+			now := dev.Engine.Now()
+			j := 0.005
+			if time.Duration(now) >= 50*time.Second {
+				j = 5.0
+			}
+			if touch {
+				// The user keeps tapping: every window is interactive.
+				dev.Power.UserActivity()
+			}
+			dev.Telemetry.RecordAttribution(now, 10001, j)
+		})
+		if err := dev.Run(70 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return wd.Finish()
+	}
+	if f := run(true); len(f) != 0 {
+		t.Fatalf("interactive windows were judged: %+v", f)
+	}
+	if f := run(false); len(f) == 0 {
+		t.Fatal("user-absent burst not flagged")
+	}
+}
+
+// TestWatchdogFinishIdempotent: Finish twice returns the same findings
+// and releases the tap.
+func TestWatchdogFinishIdempotent(t *testing.T) {
+	dev, err := device.New(device.Config{Telemetry: telemetry.New(telemetry.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := NewWatchdog(dev, WatchdogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.Start()
+	if err := dev.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	a := wd.Finish()
+	b := wd.Finish()
+	if len(a) != len(b) {
+		t.Fatalf("Finish not idempotent: %d vs %d findings", len(a), len(b))
+	}
+}

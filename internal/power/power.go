@@ -140,6 +140,8 @@ type Manager struct {
 	screenOn      bool
 	screenTimeout sim.Duration
 	timeoutEvent  sim.Handle
+
+	lastUser sim.Time
 }
 
 // DefaultScreenTimeout mirrors the 30 s auto-off the paper's experiments
@@ -160,6 +162,7 @@ func NewManager(engine *sim.Engine, meter *hw.Meter, pm *app.PackageManager) (*M
 		screenTimeout: DefaultScreenTimeout,
 	}
 	m.setScreen(true, ScreenUserActivity)
+	m.lastUser = engine.Now()
 	return m, nil
 }
 
@@ -272,9 +275,16 @@ func (m *Manager) onlyDimLocks() bool {
 // AnyLock reports whether any wakelock at all is held.
 func (m *Manager) AnyLock() bool { return len(m.locks) > 0 }
 
+// LastUserActivity returns the virtual instant of the most recent user
+// touch (device construction counts as the unlocking touch). Energy
+// anomaly detectors use it to separate drain the user's own interaction
+// explains from drain sustained while the device sits untouched.
+func (m *Manager) LastUserActivity() sim.Time { return m.lastUser }
+
 // UserActivity simulates a user touch: wakes the device, lights (and
 // undims) the screen and resets the idle timeout.
 func (m *Manager) UserActivity() {
+	m.lastUser = m.engine.Now()
 	m.meter.SetSuspended(false)
 	m.meter.SetScreenDim(false)
 	if !m.screenOn {

@@ -7,6 +7,7 @@ package scenario
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/activity"
@@ -62,6 +63,25 @@ var worldChecks *check.Options
 // world (nil detaches). A config that already carries its own wins.
 func SetWorldChecks(opts *check.Options) { worldChecks = opts }
 
+// worldLogger, when set, is the structured logger every world NewWorld
+// builds carries — the CLIs' -log flag funnel, same contract as
+// worldTelemetry.
+var worldLogger *slog.Logger
+
+// SetWorldLogger installs lg on every subsequently built world (nil
+// detaches). A config that already carries its own logger wins.
+func SetWorldLogger(lg *slog.Logger) { worldLogger = lg }
+
+// worldHook, when set, runs on every device NewWorld builds, after
+// construction but before the cast installs. The CLIs use it to attach
+// observers that need the concrete device (e.g. the obsv flame-graph
+// collector) without threading new parameters through every experiment.
+var worldHook func(*device.Device)
+
+// SetWorldHook installs fn on every subsequently built world (nil
+// detaches).
+func SetWorldHook(fn func(*device.Device)) { worldHook = fn }
+
 // NewWorld builds a device from cfg and installs the demo cast.
 func NewWorld(cfg device.Config) (*World, error) {
 	if cfg.Telemetry == nil {
@@ -70,9 +90,15 @@ func NewWorld(cfg device.Config) (*World, error) {
 	if cfg.Checks == nil {
 		cfg.Checks = worldChecks
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = worldLogger
+	}
 	dev, err := device.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if worldHook != nil {
+		worldHook(dev)
 	}
 	return Populate(dev)
 }

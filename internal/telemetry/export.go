@@ -36,7 +36,7 @@ type traceFile struct {
 
 // tid lanes: one virtual thread per event kind, so Perfetto renders each
 // subsystem as its own track.
-var kindLanes = []Kind{KindSimEvent, KindLifecycle, KindPowerState, KindBattery, KindAttribution, KindViolation}
+var kindLanes = []Kind{KindSimEvent, KindLifecycle, KindPowerState, KindBattery, KindAttribution, KindViolation, KindAnomaly}
 
 // WriteTrace exports events as Chrome trace-event JSON. pid labels the
 // emitting process track (use the device index for fleets; 0 is fine for
@@ -67,8 +67,11 @@ func WriteTrace(w io.Writer, pid int, events []Event) error {
 		}
 		tf.TraceEvents = append(tf.TraceEvents, te)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(tf)
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(tf); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 func laneOf(k Kind) int {
@@ -94,6 +97,8 @@ func traceArgs(ev Event) map[string]any {
 		return map[string]any{"uid": int64(ev.UID), "joules": ev.V0}
 	case KindViolation:
 		return map[string]any{"detail": ev.To, "got": ev.V0, "want": ev.V1}
+	case KindAnomaly:
+		return map[string]any{"uid": int64(ev.UID), "detail": ev.To, "rate_mw": ev.V0, "baseline_mw": ev.V1}
 	}
 	return nil
 }
@@ -136,6 +141,9 @@ func WriteText(w io.Writer, events []Event) error {
 		case KindViolation:
 			_, err = fmt.Fprintf(bw, "%v [violation] %s: %s (got %s, want %s)\n",
 				ev.T, ev.Name, ev.To, formatFloat(ev.V0), formatFloat(ev.V1))
+		case KindAnomaly:
+			_, err = fmt.Fprintf(bw, "%v [anomaly] uid=%d %s: %s (%smW vs %smW)\n",
+				ev.T, ev.UID, ev.Name, ev.To, formatFloat(ev.V0), formatFloat(ev.V1))
 		default:
 			_, err = fmt.Fprintf(bw, "%v [%s] %s\n", ev.T, ev.Kind, ev.Name)
 		}
@@ -152,16 +160,24 @@ func WriteText(w io.Writer, events []Event) error {
 // This is the shared backend of the CLIs' -trace-out / -events-out /
 // -metrics-out flags.
 func ExportFiles(rec *Recorder, traceOut, eventsOut, metricsOut string) error {
+	// write buffers each export and keeps the FIRST error from any stage
+	// (emit, flush, close): a short write that only surfaces at Flush or
+	// Close must not be masked by a later stage succeeding, and a Close
+	// error after a failed emit must not shadow the emit error.
 	write := func(path string, emit func(io.Writer) error) error {
 		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		if err := emit(f); err != nil {
-			f.Close()
-			return err
+		bw := bufio.NewWriter(f)
+		err = emit(bw)
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
 		}
-		return f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
 	}
 	if traceOut != "" {
 		if err := write(traceOut, func(w io.Writer) error {

@@ -52,6 +52,10 @@ const (
 	// KindViolation is one runtime invariant violation recorded by the
 	// check subsystem.
 	KindViolation
+	// KindAnomaly is one drain-anomaly finding flagged by the
+	// observability watchdog (internal/obsv): a per-UID drain-rate spike
+	// or a collateral-vs-direct energy divergence.
+	KindAnomaly
 )
 
 func (k Kind) String() string {
@@ -68,6 +72,8 @@ func (k Kind) String() string {
 		return "attribution"
 	case KindViolation:
 		return "violation"
+	case KindAnomaly:
+		return "anomaly"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -86,6 +92,7 @@ func (k Kind) MarshalJSON() ([]byte, error) {
 //	KindBattery:     V0 = joules drained this interval, V1 = battery %
 //	KindAttribution: V0 = joules attributed to UID this interval
 //	KindViolation:   Name = invariant, To = detail, V0/V1 = got/want
+//	KindAnomaly:     Name = signal, To = detail, V0 = rate mW, V1 = baseline mW
 type Event struct {
 	T    sim.Time `json:"t"`
 	Kind Kind     `json:"kind"`
@@ -144,6 +151,16 @@ type Recorder struct {
 	cBattery   *Counter
 	cAttr      *Counter
 	cViolation *Counter
+	cAnomaly   *Counter
+	gDropped   *Gauge
+	gRingCap   *Gauge
+
+	// tap, when set, sees every recorded event by value as it lands —
+	// the live stream behind the obsv watchdog. scratch backs the tap
+	// when the ring is disabled (negative capacity) so record sites keep
+	// their single slot-fill shape.
+	tap     func(Event)
+	scratch Event
 
 	hMW   map[string]*Histogram  // per-component mW distributions
 	hUIDJ map[app.UID]*Histogram // per-UID attributed-J distributions
@@ -179,6 +196,10 @@ func New(opts Options) *Recorder {
 	r.cBattery = r.metrics.Counter("hw.battery_updates")
 	r.cAttr = r.metrics.Counter("acct.attributions")
 	r.cViolation = r.metrics.Counter("check.violations")
+	r.cAnomaly = r.metrics.Counter("obsv.anomalies")
+	r.gDropped = r.metrics.Gauge("telemetry.events_dropped")
+	r.gRingCap = r.metrics.Gauge("telemetry.ring_capacity")
+	r.gRingCap.Set(float64(len(r.buf)))
 	return r
 }
 
@@ -227,18 +248,35 @@ func (r *Recorder) Metrics() *Metrics {
 	}
 	r.gQueue.Set(float64(r.qDepth))
 	r.gQueueMax.Set(float64(r.qMax))
+	r.gDropped.Set(float64(r.Dropped()))
 	return r.metrics
 }
 
+// SetTap installs fn as the live event tap: every subsequently recorded
+// event is handed to fn by value, immediately after it lands (even when
+// the ring itself is disabled). One tap at a time — the observability
+// watchdog owns it; pass nil to remove. Safe on nil (no-op).
+func (r *Recorder) SetTap(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.tap = fn
+}
+
 // slot advances the ring and returns the slot for the next event (nil
-// when event recording is off, i.e. negative capacity). Callers write
-// every field in place: compared to building an Event and copying it
-// in, this skips a ~100-byte struct copy and the modulo of the old
-// total-based indexing on every emission — the recording fast path is
-// exactly what the enabled-overhead gate spends its budget on.
+// when event recording is off, i.e. negative capacity, and no tap is
+// listening). Callers write every field in place: compared to building
+// an Event and copying it in, this skips a ~100-byte struct copy and
+// the modulo of the old total-based indexing on every emission — the
+// recording fast path is exactly what the enabled-overhead gate spends
+// its budget on. With the ring disabled but a tap installed, the
+// recorder-owned scratch slot keeps the call sites' single fill shape.
 func (r *Recorder) slot() *Event {
 	r.total++
 	if len(r.buf) == 0 {
+		if r.tap != nil {
+			return &r.scratch
+		}
 		return nil
 	}
 	ev := &r.buf[r.w]
@@ -247,6 +285,14 @@ func (r *Recorder) slot() *Event {
 		r.w = 0
 	}
 	return ev
+}
+
+// emit forwards a just-filled slot to the live tap, if any. Record
+// sites call it as the last statement of their slot-fill block.
+func (r *Recorder) emit(ev *Event) {
+	if r.tap != nil {
+		r.tap(*ev)
+	}
 }
 
 // RecordSimEvent records one kernel event firing and samples the queue
@@ -277,6 +323,7 @@ func (r *Recorder) recordSimEvent(t sim.Time, name string, queueDepth int) {
 		ev.To = ""
 		ev.V0 = float64(queueDepth)
 		ev.V1 = 0
+		r.emit(ev)
 	}
 }
 
@@ -295,6 +342,7 @@ func (r *Recorder) RecordLifecycle(t sim.Time, uid app.UID, component, from, to 
 		ev.To = to
 		ev.V0 = 0
 		ev.V1 = 0
+		r.emit(ev)
 	}
 }
 
@@ -315,6 +363,7 @@ func (r *Recorder) RecordPowerState(t sim.Time, uid app.UID, name string, old, n
 		ev.To = ""
 		ev.V0 = old
 		ev.V1 = new
+		r.emit(ev)
 	}
 }
 
@@ -334,6 +383,7 @@ func (r *Recorder) RecordBattery(t sim.Time, drainedJ, pct float64) {
 		ev.To = ""
 		ev.V0 = drainedJ
 		ev.V1 = pct
+		r.emit(ev)
 	}
 }
 
@@ -359,6 +409,7 @@ func (r *Recorder) RecordAttribution(t sim.Time, uid app.UID, joules float64) {
 		ev.To = ""
 		ev.V0 = joules
 		ev.V1 = 0
+		r.emit(ev)
 	}
 }
 
@@ -380,6 +431,29 @@ func (r *Recorder) RecordViolation(t sim.Time, invariant, detail string, got, wa
 		ev.To = detail
 		ev.V0 = got
 		ev.V1 = want
+		r.emit(ev)
+	}
+}
+
+// RecordAnomaly records one watchdog finding: signal names the detector
+// ("drain-spike", "collateral-divergence"), detail describes the flagged
+// subject, rateMW is the offending rate and baselineMW the reference it
+// was judged against (the direct rate for divergence findings).
+func (r *Recorder) RecordAnomaly(t sim.Time, uid app.UID, signal, detail string, rateMW, baselineMW float64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.cAnomaly.Inc()
+	if ev := r.slot(); ev != nil {
+		ev.T = t
+		ev.Kind = KindAnomaly
+		ev.Name = signal
+		ev.UID = uid
+		ev.From = ""
+		ev.To = detail
+		ev.V0 = rateMW
+		ev.V1 = baselineMW
+		r.emit(ev)
 	}
 }
 
