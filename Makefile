@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench telemetry-bench check-bench obsv-bench obsv-smoke fuzz-short clean
+.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench telemetry-bench check-bench obsv-bench obsv-smoke corpus-bench corpus-smoke fuzz-short fuzz-corpus-short clean
 
 all: build test
 
@@ -22,7 +22,7 @@ test-checked:
 # cleanliness of internal/fleet (and of the packages that drive it) is
 # an acceptance gate for every PR that touches concurrency.
 race:
-	$(GO) test -race -count=1 ./internal/fleet/... ./internal/telemetry/... ./internal/experiments/... ./internal/obsv/... .
+	$(GO) test -race -count=1 ./internal/fleet/... ./internal/telemetry/... ./internal/experiments/... ./internal/obsv/... ./internal/scenario/... ./internal/corpus/... .
 
 vet:
 	$(GO) vet ./...
@@ -67,10 +67,28 @@ obsv-smoke:
 	$(GO) test -run 'TestServerSmoke|TestServerFleetEndpoints' -count=1 -v ./internal/obsv
 	$(GO) test -run 'TestServeFlag' -count=1 -v ./cmd/...
 
+# Regenerate the BENCH_corpus.json scenario-corpus artifact: every
+# (archetype x attack-variant) cell over 40 seeded reps, and enforce the
+# interval gates (benign window-FP Wilson upper <= 2%, attack detection
+# Wilson lower >= 90%, zero invariant violations).
+corpus-bench:
+	$(GO) run ./cmd/benchsuite -corpus
+
+# Two-cell, three-rep corpus smoke (one benign, one attack cell): fast
+# CI proof that generation, replay and aggregation still work; the
+# interval gates are advisory at this scale but violations still fail.
+corpus-smoke:
+	$(GO) run ./cmd/benchsuite -corpus -corpus-reps 3 -corpus-cells 2 -corpus-horizon 1h -corpus-out ""
+
 # 30-second randomized invariant hunt (the CI smoke; run longer locally
 # with -fuzztime).
 fuzz-short:
 	$(GO) test -run NONE -fuzz FuzzInvariants -fuzztime 30s ./internal/check
+
+# 30-second randomized corpus hunt: arbitrary (cell, seed, horizon)
+# scripts must conserve energy and end lifecycle-clean.
+fuzz-corpus-short:
+	$(GO) test -run NONE -fuzz FuzzCorpus -fuzztime 30s ./internal/corpus
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,7 @@
 //	benchsuite -fleet 64 -workers 8   # fleet scaling study -> BENCH_fleet.json
 //	benchsuite -telemetry             # overhead study -> BENCH_telemetry.json
 //	benchsuite -obsv                  # observability overhead study -> BENCH_obsv.json
+//	benchsuite -corpus                # scenario-corpus statistical replay -> BENCH_corpus.json
 //	benchsuite -benchcmp              # rerun studies, compare against committed BENCH_*.json
 //	benchsuite -cpuprofile cpu.pprof -memprofile mem.pprof -micro
 //	benchsuite -micro -serve 127.0.0.1:9090   # live /debug/pprof during the run
@@ -30,6 +31,8 @@ import (
 
 	"repro/internal/accounting"
 	"repro/internal/antutu"
+	"repro/internal/corpus"
+	"repro/internal/corpus/replay"
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/microbench"
@@ -64,6 +67,11 @@ func run(args []string) error {
 	obsvStudy := fs.Bool("obsv", false, "run the observability-plane overhead study")
 	obsvReps := fs.Int("obsv-reps", experiments.DefaultObsvReps, "obsv study repetitions")
 	obsvOut := fs.String("obsv-out", "BENCH_obsv.json", "obsv artifact path (empty = don't write)")
+	corpusStudy := fs.Bool("corpus", false, "run the scenario-corpus statistical replay (watchdog separation with Wilson CIs)")
+	corpusReps := fs.Int("corpus-reps", replay.DefaultReps, "corpus repetitions per cell (interval gates bind at >= 30)")
+	corpusCells := fs.Int("corpus-cells", 0, "restrict the corpus to the first N canonical cells (0 = all; smoke runs use 2)")
+	corpusHorizon := fs.Duration("corpus-horizon", corpus.DefaultHorizon, "virtual span of each corpus scenario")
+	corpusOut := fs.String("corpus-out", "BENCH_corpus.json", "corpus artifact path (empty = don't write)")
 	serveAddr := fs.String("serve", "", "serve the live observability plane (healthz, /debug/pprof) on this address; blocks after the run until interrupted")
 	benchcmp := fs.Bool("benchcmp", false, "rerun the fleet/telemetry/check studies and fail on >15% wall-clock regression vs the committed BENCH_*.json")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -120,6 +128,9 @@ func run(args []string) error {
 		}
 		if *obsvStudy {
 			return obsvBench(*obsvReps, *obsvOut)
+		}
+		if *corpusStudy {
+			return corpusBench(corpusOptions(*corpusReps, *workers, *corpusCells, *corpusHorizon), *corpusOut)
 		}
 		if *fleetN > 0 {
 			return fleetBench(*fleetN, *workers, *fleetSeed, *fleetReps, *fleetOut)
@@ -659,6 +670,10 @@ func benchCompare() error {
 	}
 	compare("obsv/baseline", newObsv.BaselineMS, oldObsv.BaselineMS)
 	compare("obsv/enabled", newObsv.EnabledMS, oldObsv.EnabledMS)
+
+	if err := corpusCompare(compare); err != nil {
+		return err
+	}
 
 	if len(regressions) > 0 {
 		return fmt.Errorf("benchcmp: %d wall-clock regression(s):\n  %s",

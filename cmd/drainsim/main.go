@@ -53,16 +53,15 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var worldOpts scenario.WorldOptions
 	if *logFlag {
-		scenario.SetWorldLogger(slog.New(obsv.NewLogHandler(os.Stderr, nil, nil)))
-		defer scenario.SetWorldLogger(nil)
+		worldOpts.Logger = slog.New(obsv.NewLogHandler(os.Stderr, nil, nil))
 	}
 
 	// Serial sweeps get a fail-fast checker through the world funnel;
 	// the parallel path already builds checked devices per fleet spec.
 	if *checks {
-		scenario.SetWorldChecks(&check.Options{FailFast: true})
-		defer scenario.SetWorldChecks(nil)
+		worldOpts.Checks = &check.Options{FailFast: true}
 	}
 
 	// The shared world recorder is single-goroutine; the worker path
@@ -74,9 +73,10 @@ func run(args []string) error {
 			return fmt.Errorf("telemetry flags require -workers 1 (the parallel sweep runs one recorder per device internally)")
 		}
 		rec = telemetry.New(telemetry.Options{})
-		scenario.SetWorldTelemetry(rec)
-		defer scenario.SetWorldTelemetry(nil)
+		worldOpts.Telemetry = rec
 	}
+	prevOpts := scenario.SetWorldOptions(worldOpts)
+	defer scenario.SetWorldOptions(prevOpts)
 
 	// -serve starts the plane before the sweep (live /healthz and pprof)
 	// and publishes the recorder's snapshot once the sweep is done.

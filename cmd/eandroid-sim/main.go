@@ -61,23 +61,23 @@ func run(args []string) error {
 	// Telemetry attaches to every serially-built experiment world; the
 	// recorder routes the old stdout -trace callback and the structured
 	// exports through one instrumentation path. -serve implies it: the
-	// /metrics and /watchdog endpoints are views over the recorder.
+	// /metrics and /watchdog endpoints are views over the recorder. All
+	// cross-cutting wiring goes into one WorldOptions set, installed as
+	// the process default just before the experiments run.
+	var worldOpts scenario.WorldOptions
 	var rec *telemetry.Recorder
 	if *trace || *traceOut != "" || *eventsOut != "" || *metricsOut != "" || *serveAddr != "" {
 		rec = telemetry.New(telemetry.Options{})
-		scenario.SetWorldTelemetry(rec)
-		defer scenario.SetWorldTelemetry(nil)
+		worldOpts.Telemetry = rec
 	}
 	// The invariant checker rides the same world funnel; fail-fast, so a
 	// conservation breach aborts the experiment instead of printing a
 	// silently wrong figure.
 	if *checks {
-		scenario.SetWorldChecks(&check.Options{FailFast: true})
-		defer scenario.SetWorldChecks(nil)
+		worldOpts.Checks = &check.Options{FailFast: true}
 	}
 	if *logFlag {
-		scenario.SetWorldLogger(slog.New(obsv.NewLogHandler(os.Stderr, nil, nil)))
-		defer scenario.SetWorldLogger(nil)
+		worldOpts.Logger = slog.New(obsv.NewLogHandler(os.Stderr, nil, nil))
 	}
 
 	// -serve starts the plane before the run so /healthz and pprof are
@@ -99,7 +99,7 @@ func run(args []string) error {
 	var flames []*obsv.FlameCollector
 	var watchdogs []*obsv.Watchdog
 	if *flameOut != "" || *flameHTML != "" || srv != nil {
-		scenario.SetWorldHook(func(dev *device.Device) {
+		worldOpts.Hook = func(dev *device.Device) {
 			flames = append(flames, obsv.AttachFlame(dev))
 			if wd, err := obsv.NewWatchdog(dev, obsv.WatchdogOptions{}); err == nil {
 				if srv != nil {
@@ -108,9 +108,10 @@ func run(args []string) error {
 				wd.Start()
 				watchdogs = append(watchdogs, wd)
 			}
-		})
-		defer scenario.SetWorldHook(nil)
+		}
 	}
+	prevOpts := scenario.SetWorldOptions(worldOpts)
+	defer scenario.SetWorldOptions(prevOpts)
 
 	err := runExperiments(list, exp, rec, *trace, *traceOut, *eventsOut, *metricsOut)
 	if err == nil {

@@ -12,8 +12,8 @@ import (
 
 func TestAllRegistryResolves(t *testing.T) {
 	specs := All()
-	if len(specs) != 20 {
-		t.Fatalf("experiments = %d, want 20 (15 paper variants + 5 extensions)", len(specs))
+	if len(specs) != 21 {
+		t.Fatalf("experiments = %d, want 21 (15 paper variants + 6 extensions)", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {

@@ -156,6 +156,23 @@ type Watchdog struct {
 	findings []Finding
 	dropped  int
 	subs     []func(Finding)
+
+	stats WindowStats
+}
+
+// WindowStats counts the watchdog's closed windows by disposition. The
+// corpus replay harness uses these as trial counts for window-level
+// false-positive rates: every judged (user-quiet) window is one Bernoulli
+// trial, flagged or clean.
+type WindowStats struct {
+	// Total is every closed window, judged or not.
+	Total int `json:"total"`
+	// Interactive windows contained user activity and were not judged.
+	Interactive int `json:"interactive"`
+	// Judged windows were user-quiet and ran the full detector.
+	Judged int `json:"judged"`
+	// Flagged judged windows produced at least one finding.
+	Flagged int `json:"flagged"`
 }
 
 // NewWatchdog builds a watchdog over dev. The device must carry an
@@ -221,6 +238,9 @@ func (w *Watchdog) Findings() []Finding {
 // Dropped reports findings discarded beyond MaxFindings.
 func (w *Watchdog) Dropped() int { return w.dropped }
 
+// Stats reports the closed-window counters accumulated so far.
+func (w *Watchdog) Stats() WindowStats { return w.stats }
+
 // onEvent is the telemetry tap: it accumulates the current window's
 // per-UID attribution and battery drain. KindAnomaly events (the
 // watchdog's own output) fall through the switch, so recording a
@@ -253,6 +273,14 @@ func (w *Watchdog) closeWindow(now sim.Time) {
 	// A window the user touched is never judged: interaction explains
 	// drain. Attacks persist into the quiet windows that follow.
 	quiet := w.dev.Power.LastUserActivity().Before(w.winStart)
+
+	w.stats.Total++
+	if quiet {
+		w.stats.Judged++
+	} else {
+		w.stats.Interactive++
+	}
+	preFindings := len(w.findings) + w.dropped
 
 	// Per-UID spikes, judged and appended to history in sorted UID
 	// order over the union of current and historical UIDs, so
@@ -324,6 +352,10 @@ func (w *Watchdog) closeWindow(now sim.Time) {
 				})
 			}
 		}
+	}
+
+	if quiet && len(w.findings)+w.dropped > preFindings {
+		w.stats.Flagged++
 	}
 
 	for uid := range w.direct {

@@ -8,6 +8,7 @@ package scenario
 import (
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 
 	"repro/internal/activity"
@@ -42,63 +43,114 @@ type World struct {
 	Malware  *app.App
 }
 
-// worldTelemetry, when set, is instrumented into every world NewWorld
-// builds. It exists for the CLIs' -trace/-trace-out/-metrics-out flags:
-// NewWorld is the serial construction funnel every registry experiment
-// goes through, while fleet runners build devices themselves (and use
-// Populate), so a single shared recorder is never touched from two
-// goroutines.
-var worldTelemetry *telemetry.Recorder
+// WorldOptions carries the cross-cutting construction options NewWorld
+// threads into every world it builds: the CLIs' -trace/-metrics
+// recorder, the runtime invariant checker options, the structured
+// logger, and a post-construction hook for observers that need the
+// concrete device (e.g. the obsv flame-graph collector). Options set
+// directly on the device.Config win over these; every built device gets
+// its own Checker — only the options pointer is shared.
+type WorldOptions struct {
+	Telemetry *telemetry.Recorder
+	Checks    *check.Options
+	Logger    *slog.Logger
+	Hook      func(*device.Device)
+}
+
+// worldMu guards worldDefaults: the CLIs install process defaults once
+// at startup, but fleet runners and parallel tests may build worlds
+// concurrently, so the default set is read under a lock rather than
+// through bare package globals (which raced under -race).
+var (
+	worldMu       sync.RWMutex
+	worldDefaults WorldOptions
+)
+
+// SetWorldOptions atomically replaces the process-default options used
+// by NewWorld (zero value detaches everything) and returns the previous
+// set so callers can restore it.
+func SetWorldOptions(opts WorldOptions) WorldOptions {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	prev := worldDefaults
+	worldDefaults = opts
+	return prev
+}
+
+// DefaultWorldOptions returns a snapshot of the process-default options.
+func DefaultWorldOptions() WorldOptions {
+	worldMu.RLock()
+	defer worldMu.RUnlock()
+	return worldDefaults
+}
 
 // SetWorldTelemetry installs rec on every subsequently built world (nil
 // detaches). A config that already carries its own recorder wins.
-func SetWorldTelemetry(rec *telemetry.Recorder) { worldTelemetry = rec }
-
-// worldChecks, when set, enables the runtime invariant checker on every
-// world NewWorld builds — the same CLI funnel as worldTelemetry. Every
-// built device gets its own Checker; only the options are shared.
-var worldChecks *check.Options
+//
+// Deprecated: mutate one field of the process defaults via
+// SetWorldOptions, or pass options explicitly to NewWorldWith.
+func SetWorldTelemetry(rec *telemetry.Recorder) {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	worldDefaults.Telemetry = rec
+}
 
 // SetWorldChecks installs checker options on every subsequently built
 // world (nil detaches). A config that already carries its own wins.
-func SetWorldChecks(opts *check.Options) { worldChecks = opts }
-
-// worldLogger, when set, is the structured logger every world NewWorld
-// builds carries — the CLIs' -log flag funnel, same contract as
-// worldTelemetry.
-var worldLogger *slog.Logger
+//
+// Deprecated: use SetWorldOptions or NewWorldWith.
+func SetWorldChecks(opts *check.Options) {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	worldDefaults.Checks = opts
+}
 
 // SetWorldLogger installs lg on every subsequently built world (nil
 // detaches). A config that already carries its own logger wins.
-func SetWorldLogger(lg *slog.Logger) { worldLogger = lg }
-
-// worldHook, when set, runs on every device NewWorld builds, after
-// construction but before the cast installs. The CLIs use it to attach
-// observers that need the concrete device (e.g. the obsv flame-graph
-// collector) without threading new parameters through every experiment.
-var worldHook func(*device.Device)
+//
+// Deprecated: use SetWorldOptions or NewWorldWith.
+func SetWorldLogger(lg *slog.Logger) {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	worldDefaults.Logger = lg
+}
 
 // SetWorldHook installs fn on every subsequently built world (nil
-// detaches).
-func SetWorldHook(fn func(*device.Device)) { worldHook = fn }
+// detaches). The hook runs after device construction, before the cast
+// installs.
+//
+// Deprecated: use SetWorldOptions or NewWorldWith.
+func SetWorldHook(fn func(*device.Device)) {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	worldDefaults.Hook = fn
+}
 
-// NewWorld builds a device from cfg and installs the demo cast.
+// NewWorld builds a device from cfg with the process-default options
+// and installs the demo cast.
 func NewWorld(cfg device.Config) (*World, error) {
+	return NewWorldWith(cfg, DefaultWorldOptions())
+}
+
+// NewWorldWith builds a device from cfg with explicit options — no
+// process globals involved, so concurrent builders can each carry their
+// own recorder, checker options and hook.
+func NewWorldWith(cfg device.Config, opts WorldOptions) (*World, error) {
 	if cfg.Telemetry == nil {
-		cfg.Telemetry = worldTelemetry
+		cfg.Telemetry = opts.Telemetry
 	}
 	if cfg.Checks == nil {
-		cfg.Checks = worldChecks
+		cfg.Checks = opts.Checks
 	}
 	if cfg.Logger == nil {
-		cfg.Logger = worldLogger
+		cfg.Logger = opts.Logger
 	}
 	dev, err := device.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if worldHook != nil {
-		worldHook(dev)
+	if opts.Hook != nil {
+		opts.Hook(dev)
 	}
 	return Populate(dev)
 }
