@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench telemetry-bench check-bench obsv-bench obsv-smoke corpus-bench corpus-smoke fuzz-short fuzz-corpus-short clean
+.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench telemetry-bench check-bench obsv-bench obsv-smoke corpus-bench corpus-smoke jobs-smoke jobs-bench fuzz-short fuzz-corpus-short clean
 
 all: build test
 
@@ -22,7 +22,7 @@ test-checked:
 # cleanliness of internal/fleet (and of the packages that drive it) is
 # an acceptance gate for every PR that touches concurrency.
 race:
-	$(GO) test -race -count=1 ./internal/fleet/... ./internal/telemetry/... ./internal/experiments/... ./internal/obsv/... ./internal/scenario/... ./internal/corpus/... .
+	$(GO) test -race -count=1 ./internal/fleet/... ./internal/telemetry/... ./internal/experiments/... ./internal/obsv/... ./internal/scenario/... ./internal/corpus/... ./internal/jobs/... ./internal/serveutil/... .
 
 vet:
 	$(GO) vet ./...
@@ -79,6 +79,20 @@ corpus-bench:
 # interval gates are advisory at this scale but violations still fail.
 corpus-smoke:
 	$(GO) run ./cmd/benchsuite -corpus -corpus-reps 3 -corpus-cells 2 -corpus-horizon 1h -corpus-out ""
+
+# End-to-end smoke of the jobs control plane under -race: concurrent
+# HTTP submit/scrape with enforced 429 backpressure, cache byte-identity
+# over HTTP, and mid-job cancellation (the heavy load tests), plus the
+# every-CLI -serve-jobs path and the eandroid-serve daemon.
+jobs-smoke:
+	$(GO) test -race -count=1 -run 'TestLoad|TestJobSSEStream|TestQueueCancelWhileQueued' -v ./internal/jobs
+	$(GO) test -count=1 -run 'TestServeJobsFlag|TestServeAndStop|TestJobsPlaneServes' ./cmd/... ./internal/serveutil
+
+# Regenerate the BENCH_jobs.json cache-study artifact: one scenario job
+# per corpus cell submitted cold then warm, gated at cached-batch
+# speedup >= 50x.
+jobs-bench:
+	$(GO) run ./cmd/benchsuite -jobs
 
 # 30-second randomized invariant hunt (the CI smoke; run longer locally
 # with -fuzztime).

@@ -18,7 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/appstore"
-	"repro/internal/obsv"
+	"repro/internal/serveutil"
 )
 
 // serveStop, when non-nil, ends a -serve wait as soon as it closes;
@@ -38,27 +38,26 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "corpus seed")
 	cats := fs.Bool("categories", false, "print per-category breakdown")
 	serveAddr := fs.String("serve", "", "serve liveness and /debug/pprof on this address; blocks after the run until interrupted")
+	serveJobs := fs.Bool("serve-jobs", false, "with -serve: mount the simulation-as-a-service control plane at /jobs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// The corpus study has no device, so -serve exposes only liveness
-	// and the profiling endpoints — enough to pprof a big -n run live.
-	var srv *obsv.Server
-	if *serveAddr != "" {
-		srv = obsv.NewServer()
-		bound, err := srv.Start(*serveAddr)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "appstudy: serving http://%s (/healthz, /debug/pprof/)\n", bound)
+	// The corpus study has no device, so -serve exposes liveness and the
+	// profiling endpoints — and, with -serve-jobs, the full simulation
+	// control plane on the same mux.
+	plane, err := serveutil.Start(serveutil.Options{
+		Addr: *serveAddr, Name: "appstudy", Jobs: *serveJobs, Banner: os.Stderr,
+	})
+	if err != nil {
+		return err
 	}
 	corpus, err := appstore.Generate(*n, *seed)
 	if err != nil {
-		return err
+		return plane.Finish(err, serveStop)
 	}
 	study, err := appstore.Inspect(corpus)
 	if err != nil {
-		return err
+		return plane.Finish(err, serveStop)
 	}
 	fmt.Printf("Figure 2: %d apps inspected\n", study.Total)
 	fmt.Printf("  exported component: %4d (%.1f%%)\n", study.Exported, study.ExportedRate*100)
@@ -75,8 +74,5 @@ func run(args []string) error {
 			fmt.Printf("    %-18s %d\n", c, study.PerCategory[c])
 		}
 	}
-	if srv != nil {
-		return srv.AwaitShutdown(serveStop)
-	}
-	return nil
+	return plane.Finish(nil, serveStop)
 }

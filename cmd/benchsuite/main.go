@@ -19,7 +19,6 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,8 +35,8 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/microbench"
-	"repro/internal/obsv"
 	"repro/internal/scenario"
+	"repro/internal/serveutil"
 )
 
 func main() {
@@ -72,7 +71,11 @@ func run(args []string) error {
 	corpusCells := fs.Int("corpus-cells", 0, "restrict the corpus to the first N canonical cells (0 = all; smoke runs use 2)")
 	corpusHorizon := fs.Duration("corpus-horizon", corpus.DefaultHorizon, "virtual span of each corpus scenario")
 	corpusOut := fs.String("corpus-out", "BENCH_corpus.json", "corpus artifact path (empty = don't write)")
+	jobsStudy := fs.Bool("jobs", false, "run the jobs control-plane throughput study (cold vs content-addressed cache)")
+	jobsReps := fs.Int("jobs-reps", defaultJobsReps, "jobs study repetitions (min-over-reps wall times)")
+	jobsOut := fs.String("jobs-out", "BENCH_jobs.json", "jobs artifact path (empty = don't write)")
 	serveAddr := fs.String("serve", "", "serve the live observability plane (healthz, /debug/pprof) on this address; blocks after the run until interrupted")
+	serveJobs := fs.Bool("serve-jobs", false, "with -serve: mount the simulation-as-a-service control plane at /jobs")
 	benchcmp := fs.Bool("benchcmp", false, "rerun the fleet/telemetry/check studies and fail on >15% wall-clock regression vs the committed BENCH_*.json")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -106,14 +109,11 @@ func run(args []string) error {
 	}
 	// -serve starts the plane before the work so /debug/pprof can profile
 	// a long study live; the process then blocks until Ctrl-C.
-	var srv *obsv.Server
-	if *serveAddr != "" {
-		srv = obsv.NewServer()
-		bound, err := srv.Start(*serveAddr)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "benchsuite: serving http://%s (/debug/pprof/, /healthz)\n", bound)
+	plane, err := serveutil.Start(serveutil.Options{
+		Addr: *serveAddr, Name: "benchsuite", Jobs: *serveJobs, Banner: os.Stderr,
+	})
+	if err != nil {
+		return err
 	}
 
 	work := func() error {
@@ -131,6 +131,9 @@ func run(args []string) error {
 		}
 		if *corpusStudy {
 			return corpusBench(corpusOptions(*corpusReps, *workers, *corpusCells, *corpusHorizon), *corpusOut)
+		}
+		if *jobsStudy {
+			return jobsBench(*jobsReps, *jobsOut)
 		}
 		if *fleetN > 0 {
 			return fleetBench(*fleetN, *workers, *fleetSeed, *fleetReps, *fleetOut)
@@ -159,17 +162,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	err := work()
-	if srv == nil {
-		return err
-	}
-	if err != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(ctx)
-		return err
-	}
-	return srv.AwaitShutdown(serveStop)
+	return plane.Finish(work(), serveStop)
 }
 
 // serveStop, when non-nil, ends a -serve wait as soon as it closes;
@@ -672,6 +665,10 @@ func benchCompare() error {
 	compare("obsv/enabled", newObsv.EnabledMS, oldObsv.EnabledMS)
 
 	if err := corpusCompare(compare); err != nil {
+		return err
+	}
+
+	if err := jobsCompare(compare); err != nil {
 		return err
 	}
 

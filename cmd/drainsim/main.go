@@ -13,7 +13,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -24,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obsv"
 	"repro/internal/scenario"
+	"repro/internal/serveutil"
 	"repro/internal/telemetry"
 )
 
@@ -49,6 +49,7 @@ func run(args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write a plain-text metrics dump")
 	checks := fs.Bool("check", true, "run the runtime invariant checker; any violation fails the serial sweep (the worker path checks passively per device)")
 	serveAddr := fs.String("serve", "", "serve live observability (metrics, pprof) on this address; blocks after the run until interrupted")
+	serveJobs := fs.Bool("serve-jobs", false, "with -serve: mount the simulation-as-a-service control plane at /jobs")
 	logFlag := fs.Bool("log", false, "emit structured logs (deterministic text format) on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,19 +81,11 @@ func run(args []string) error {
 
 	// -serve starts the plane before the sweep (live /healthz and pprof)
 	// and publishes the recorder's snapshot once the sweep is done.
-	var srv *obsv.Server
-	if *serveAddr != "" {
-		srv = obsv.NewServer()
-		bound, err := srv.Start(*serveAddr)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "drainsim: serving http://%s (/metrics, /debug/pprof/)\n", bound)
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			_ = srv.Shutdown(ctx)
-		}()
+	plane, perr := serveutil.Start(serveutil.Options{
+		Addr: *serveAddr, Name: "drainsim", Jobs: *serveJobs, Banner: os.Stderr,
+	})
+	if perr != nil {
+		return perr
 	}
 
 	var res *experiments.Fig3Result
@@ -103,16 +96,16 @@ func run(args []string) error {
 		res, err = experiments.Fig3WithStepWorkers(*step, *workers)
 	}
 	if err != nil {
-		return err
+		return plane.Finish(err, serveStop)
 	}
 	if rec != nil {
 		if *trace {
 			if err := telemetry.WriteText(os.Stdout, rec.Events()); err != nil {
-				return err
+				return plane.Finish(err, serveStop)
 			}
 		}
 		if err := telemetry.ExportFiles(rec, *traceOut, *eventsOut, *metricsOut); err != nil {
-			return err
+			return plane.Finish(err, serveStop)
 		}
 	}
 	if *csv {
@@ -125,9 +118,8 @@ func run(args []string) error {
 	} else {
 		fmt.Println(res.Render())
 	}
-	if srv != nil {
-		srv.PublishSnapshot(rec.Metrics().Snapshot())
-		return srv.AwaitShutdown(serveStop)
+	if plane != nil {
+		plane.Server.PublishSnapshot(rec.Metrics().Snapshot())
 	}
-	return nil
+	return plane.Finish(nil, serveStop)
 }

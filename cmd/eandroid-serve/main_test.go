@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestServeAndStop(t *testing.T) {
+	serveStop = make(chan struct{})
+	close(serveStop)
+	defer func() { serveStop = nil }()
+	if err := run([]string{"-addr", "127.0.0.1:0", "-runners", "1", "-queue", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAddrRejected(t *testing.T) {
+	// The daemon is nothing but the control plane; an empty address is
+	// a configuration error, not a silent no-op.
+	if err := run([]string{"-addr", ""}); err == nil {
+		t.Fatal("empty -addr accepted")
+	}
+}

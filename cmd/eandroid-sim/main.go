@@ -15,18 +15,17 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
-	"time"
 
 	"repro/internal/check"
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/obsv"
 	"repro/internal/scenario"
+	"repro/internal/serveutil"
 	"repro/internal/telemetry"
 )
 
@@ -52,6 +51,7 @@ func run(args []string) error {
 	flameOut := fs.String("flame-out", "", "write the energy flame graph as collapsed stacks (Brendan Gregg format)")
 	flameHTML := fs.String("flame-html", "", "write the energy flame graph as a self-contained HTML report")
 	serveAddr := fs.String("serve", "", "serve live observability (metrics, flame, watchdog, pprof) on this address; blocks after the run until interrupted")
+	serveJobs := fs.Bool("serve-jobs", false, "with -serve: mount the simulation-as-a-service control plane at /jobs")
 	logFlag := fs.Bool("log", false, "emit structured logs (deterministic text format) on stderr")
 	checks := fs.Bool("check", true, "run the runtime invariant checker; any violation fails the run")
 	if err := fs.Parse(args); err != nil {
@@ -83,14 +83,15 @@ func run(args []string) error {
 	// -serve starts the plane before the run so /healthz and pprof are
 	// live while experiments execute and watchdog findings stream out
 	// over SSE as they happen; snapshot and flame publish at the end.
+	plane, err := serveutil.Start(serveutil.Options{
+		Addr: *serveAddr, Name: "eandroid-sim", Jobs: *serveJobs, Banner: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
 	var srv *obsv.Server
-	if *serveAddr != "" {
-		srv = obsv.NewServer()
-		bound, err := srv.Start(*serveAddr)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "eandroid-sim: serving http://%s (/metrics, /flame, /watchdog, /debug/pprof/)\n", bound)
+	if plane != nil {
+		srv = plane.Server
 	}
 
 	// Flame collection (and, when serving, a live watchdog) attach to
@@ -113,29 +114,22 @@ func run(args []string) error {
 	prevOpts := scenario.SetWorldOptions(worldOpts)
 	defer scenario.SetWorldOptions(prevOpts)
 
-	err := runExperiments(list, exp, rec, *trace, *traceOut, *eventsOut, *metricsOut)
+	err = runExperiments(list, exp, rec, *trace, *traceOut, *eventsOut, *metricsOut)
 	if err == nil {
 		for _, wd := range watchdogs {
 			wd.Finish()
 		}
 		err = exportFlames(flames, *flameOut, *flameHTML, *exp)
 	}
-	if srv == nil {
-		return err
+	if srv != nil && err == nil {
+		if rec != nil {
+			srv.PublishSnapshot(rec.Metrics().Snapshot())
+		}
+		if len(flames) > 0 {
+			srv.PublishFlame(obsv.MergeFlames(flameList(flames)...))
+		}
 	}
-	if err != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(ctx)
-		return err
-	}
-	if rec != nil {
-		srv.PublishSnapshot(rec.Metrics().Snapshot())
-	}
-	if len(flames) > 0 {
-		srv.PublishFlame(obsv.MergeFlames(flameList(flames)...))
-	}
-	return srv.AwaitShutdown(serveStop)
+	return plane.Finish(err, serveStop)
 }
 
 // runExperiments is the pre-obsv body of the command: list, run one or

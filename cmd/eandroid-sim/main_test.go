@@ -104,6 +104,20 @@ func TestServeFlag(t *testing.T) {
 	}
 }
 
+// TestServeJobsFlag: -serve-jobs mounts the jobs control plane on the
+// same plane; without -serve it is a configuration error.
+func TestServeJobsFlag(t *testing.T) {
+	serveStop = make(chan struct{})
+	close(serveStop)
+	defer func() { serveStop = nil }()
+	if err := run([]string{"-exp", "fig9a", "-serve", "127.0.0.1:0", "-serve-jobs"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig9a", "-serve-jobs"}); err == nil {
+		t.Fatal("-serve-jobs without -serve accepted")
+	}
+}
+
 // TestLogFlag: -log attaches the deterministic slog handler without
 // disturbing the run.
 func TestLogFlag(t *testing.T) {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/intent"
+	"repro/internal/jobs"
 	"repro/internal/manifest"
 	"repro/internal/obsv"
 	"repro/internal/power"
@@ -314,3 +315,40 @@ type (
 	// BroadcastDelivery is one receiver invocation.
 	BroadcastDelivery = broadcast.Delivery
 )
+
+// Jobs API: the simulation-as-a-service control plane layered over the
+// fleet runner and scenario corpus. A JobManager owns a bounded queue
+// and runner pool plus a content-addressed artifact cache; AttachJobs
+// mounts its HTTP surface (POST /jobs, SSE progress, artifacts) on an
+// observability server.
+type (
+	// JobManager runs submitted jobs and caches their artifacts.
+	JobManager = jobs.Manager
+	// JobManagerOptions sizes the runner pool, queue and cache.
+	JobManagerOptions = jobs.Options
+	// JobSpec describes what one job simulates (kind, cell, seed, shape).
+	JobSpec = jobs.Spec
+	// JobLimits are the server-side per-job resource bounds.
+	JobLimits = jobs.Limits
+	// Job is one submitted job (status, SSE events, artifacts).
+	Job = jobs.Job
+	// JobStatus is a job's JSON-renderable state.
+	JobStatus = jobs.Status
+	// JobArtifacts is a completed job's named output files.
+	JobArtifacts = jobs.Artifacts
+)
+
+// Job kinds accepted in JobSpec.Kind.
+const (
+	JobKindScenario = jobs.KindScenario
+	JobKindFleet    = jobs.KindFleet
+	JobKindCorpus   = jobs.KindCorpus
+)
+
+// NewJobManager builds a running job manager; Close it when done.
+func NewJobManager(opts JobManagerOptions) *JobManager { return jobs.NewManager(opts) }
+
+// AttachJobs mounts a manager's HTTP surface under /jobs on an
+// observability server, wires its counters into /metrics, and closes
+// the manager on server shutdown.
+var AttachJobs = jobs.Attach

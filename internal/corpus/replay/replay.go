@@ -80,6 +80,12 @@ type Options struct {
 	// Cells restricts the run to a subset (smoke runs); nil means the
 	// full corpus grid.
 	Cells []corpus.Cell
+	// Progress, when non-nil, receives one tick per finished device —
+	// the fleet runner's live feed, passed straight through so a jobs
+	// control plane can stream replay progress over SSE. Like
+	// fleet.Spec.Progress it is called from worker goroutines and must
+	// be safe for concurrent calls.
+	Progress func(fleet.Progress)
 }
 
 // CellResult is one corpus cell's statistical summary.
@@ -167,6 +173,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			Checks:   &check.Options{},
 		},
 		Telemetry: &telemetry.Options{},
+		Progress:  opts.Progress,
 		Scenario: func(i int, dev *device.Device) error {
 			cellIdx, rep := i/reps, i%reps
 			w, err := scenario.Populate(dev)

@@ -12,8 +12,8 @@ import (
 
 func TestAllRegistryResolves(t *testing.T) {
 	specs := All()
-	if len(specs) != 21 {
-		t.Fatalf("experiments = %d, want 21 (15 paper variants + 6 extensions)", len(specs))
+	if len(specs) != 22 {
+		t.Fatalf("experiments = %d, want 22 (15 paper variants + 7 extensions)", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {

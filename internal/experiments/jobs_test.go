@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtJobsDeterministic: the ext-jobs render is a determinism
+// surface — two independent runs (fresh managers, fresh caches) must
+// produce identical text, and the in-run resubmission must be a
+// byte-identical cache hit.
+func TestExtJobsDeterministic(t *testing.T) {
+	r1, err := ExtJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Identical {
+		t.Fatal("cached resubmission was not byte-identical")
+	}
+	if !r1.Resubmitted.Cached {
+		t.Fatal("resubmission did not hit the cache")
+	}
+	out := r1.Render()
+	for _, want := range []string{"cached=true", "byte-identical=true", "1 hits, 3 misses"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	r2, err := ExtJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != r2.Render() {
+		t.Fatalf("ext-jobs render not deterministic:\n--- run1\n%s\n--- run2\n%s", out, r2.Render())
+	}
+}

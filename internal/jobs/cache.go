@@ -1,0 +1,126 @@
+package jobs
+
+import (
+	"container/list"
+	"sort"
+)
+
+// Artifacts is the complete output of one job: named files, each a
+// deterministic byte string. Stored whole in the cache — a hit returns
+// exactly the bytes the original run produced.
+type Artifacts struct {
+	// Files maps artifact name (e.g. "summary.json", "flame.html") to
+	// contents.
+	Files map[string][]byte
+}
+
+// Bytes is the total payload size, the unit the cache budget is
+// accounted in.
+func (a Artifacts) Bytes() int64 {
+	var n int64
+	for _, b := range a.Files {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// Names lists the artifact names in sorted order.
+func (a Artifacts) Names() []string {
+	names := make([]string, 0, len(a.Files))
+	for n := range a.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cache is the content-addressed result store: spec key → artifacts,
+// bounded by a byte budget with LRU eviction. Everything the control
+// plane promises about O(1) resubmission rests here, so the accounting
+// is deliberately simple: one mutex, one map, one intrusive list.
+type Cache struct {
+	budget  int64
+	bytes   int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	arts Artifacts
+	size int64
+}
+
+// NewCache returns a cache holding at most budget bytes of artifacts.
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get looks up a key, refreshing its recency. Caller holds the
+// manager's lock (the cache has no lock of its own: it is only touched
+// under Manager.mu, which also guards the counters surfaced in
+// telemetry).
+func (c *Cache) get(key string) (Artifacts, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).arts, true
+	}
+	c.misses++
+	return Artifacts{}, false
+}
+
+// put stores artifacts under key, evicting least-recently-used entries
+// until the budget holds. An artifact set larger than the entire budget
+// is not stored at all — caching it would mean evicting everything for
+// an entry that is itself immediately evicted by the next put.
+func (c *Cache) put(key string, arts Artifacts) {
+	if _, ok := c.entries[key]; ok {
+		return // already cached; deterministic artifacts never change
+	}
+	size := arts.Bytes()
+	if size > c.budget {
+		return
+	}
+	for c.bytes+size > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
+		c.evictions++
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, arts: arts, size: size})
+	c.entries[key] = el
+	c.bytes += size
+}
+
+// CacheStats is a point-in-time view of the cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+func (c *Cache) stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+	}
+}

@@ -1,0 +1,86 @@
+package jobs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func arts(size int) Artifacts {
+	return Artifacts{Files: map[string][]byte{"a": bytes.Repeat([]byte("x"), size)}}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1000)
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("k1", arts(10))
+	got, ok := c.get("k1")
+	if !ok || len(got.Files["a"]) != 10 {
+		t.Fatalf("get after put = %v, %v", got, ok)
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(30)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), arts(10))
+	}
+	// Touch k0 so k1 is the least recently used.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.put("k3", arts(10)) // budget full: must evict exactly k1
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 survived eviction despite being LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted, want k1 only", k)
+		}
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Bytes != 30 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheOversizeNotStored(t *testing.T) {
+	c := NewCache(20)
+	c.put("small", arts(10))
+	c.put("huge", arts(100)) // bigger than the whole budget: skip, don't flush
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversize artifact cached")
+	}
+	if _, ok := c.get("small"); !ok {
+		t.Fatal("oversize put evicted existing entries")
+	}
+	if st := c.stats(); st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", st.Evictions)
+	}
+}
+
+func TestCacheDuplicatePutIgnored(t *testing.T) {
+	c := NewCache(100)
+	c.put("k", arts(10))
+	c.put("k", arts(10))
+	if st := c.stats(); st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("duplicate put double-counted: %+v", st)
+	}
+}
+
+func TestArtifactsNamesSorted(t *testing.T) {
+	a := Artifacts{Files: map[string][]byte{"z": nil, "a": nil, "m": nil}}
+	got := a.Names()
+	want := []string{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}

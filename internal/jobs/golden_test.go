@@ -1,0 +1,167 @@
+package jobs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// cheapSpec is the test workhorse: one device, the corpus's minimum
+// horizon, the quietest archetype.
+func cheapSpec(seed int64) Spec {
+	return Spec{
+		Kind:    KindScenario,
+		Cell:    "idle-mostly/benign",
+		Seed:    seed,
+		Horizon: Duration(time.Hour),
+	}
+}
+
+func submitAndWait(t *testing.T, m *Manager, spec Spec) *Job {
+	t.Helper()
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+	st := j.Status()
+	if st.State != StateDone {
+		t.Fatalf("job %s state = %s (%s), want done", j.ID, st.State, st.Error)
+	}
+	return j
+}
+
+func assertSameArtifacts(t *testing.T, a, b Artifacts, what string) {
+	t.Helper()
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		t.Fatalf("%s: artifact sets differ: %v vs %v", what, an, bn)
+	}
+	for _, name := range an {
+		if !bytes.Equal(a.Files[name], b.Files[name]) {
+			t.Errorf("%s: artifact %s differs (%d vs %d bytes)",
+				what, name, len(a.Files[name]), len(b.Files[name]))
+		}
+	}
+}
+
+// TestGoldenResubmitCacheHit is the tentpole's core acceptance test:
+// resubmitting an identical spec must return Cached=true and
+// byte-identical artifacts, with the hit counted.
+func TestGoldenResubmitCacheHit(t *testing.T) {
+	m := NewManager(Options{Runners: 1})
+	defer m.Close()
+
+	first := submitAndWait(t, m, cheapSpec(7))
+	if first.Status().Cached {
+		t.Fatal("first submission reported cached")
+	}
+	firstArts, _ := first.Artifacts()
+	if len(firstArts.Files) == 0 {
+		t.Fatal("first run produced no artifacts")
+	}
+
+	second := submitAndWait(t, m, cheapSpec(7))
+	st := second.Status()
+	if !st.Cached {
+		t.Fatal("identical resubmission not served from cache")
+	}
+	if second.ID == first.ID {
+		t.Fatal("cached job reused the original's ID")
+	}
+	if second.Key != first.Key {
+		t.Fatalf("keys differ: %s vs %s", second.Key, first.Key)
+	}
+	secondArts, _ := second.Artifacts()
+	assertSameArtifacts(t, firstArts, secondArts, "resubmit")
+
+	cs := m.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", cs)
+	}
+}
+
+// TestGoldenIndependentManagers: two fresh managers given the same spec
+// produce byte-identical artifacts — the determinism claim the content
+// address rests on, checked across processes' worth of state.
+func TestGoldenIndependentManagers(t *testing.T) {
+	m1 := NewManager(Options{Runners: 1})
+	defer m1.Close()
+	m2 := NewManager(Options{Runners: 1})
+	defer m2.Close()
+
+	a1, _ := submitAndWait(t, m1, cheapSpec(11)).Artifacts()
+	a2, _ := submitAndWait(t, m2, cheapSpec(11)).Artifacts()
+	assertSameArtifacts(t, a1, a2, "independent managers")
+}
+
+// TestGoldenWorkerIndependence: a fleet job's artifacts are
+// byte-identical at Workers=1 and Workers=8 — which is exactly why
+// Workers lives in Limits, outside the content address.
+func TestGoldenWorkerIndependence(t *testing.T) {
+	spec := Spec{
+		Kind:    KindFleet,
+		Cell:    "idle-mostly/intermittent-drain",
+		Seed:    23,
+		Devices: 4,
+		Horizon: Duration(time.Hour),
+	}
+	m1 := NewManager(Options{Runners: 1, Limits: Limits{Workers: 1}})
+	defer m1.Close()
+	m8 := NewManager(Options{Runners: 1, Limits: Limits{Workers: 8}})
+	defer m8.Close()
+
+	a1, _ := submitAndWait(t, m1, spec).Artifacts()
+	a8, _ := submitAndWait(t, m8, spec).Artifacts()
+	assertSameArtifacts(t, a1, a8, "workers 1 vs 8")
+}
+
+// TestCorpusJobArtifacts: the corpus kind runs the replay harness and
+// returns its deterministic table plus render.
+func TestCorpusJobArtifacts(t *testing.T) {
+	m := NewManager(Options{Runners: 1})
+	defer m.Close()
+	spec := Spec{
+		Kind:    KindCorpus,
+		Cell:    "idle-mostly/benign",
+		Seed:    5,
+		Reps:    2,
+		Horizon: Duration(time.Hour),
+	}
+	j := submitAndWait(t, m, spec)
+	a, _ := j.Artifacts()
+	for _, name := range []string{"summary.json", "summary.txt"} {
+		if len(a.Files[name]) == 0 {
+			t.Errorf("corpus job missing artifact %s", name)
+		}
+	}
+	// Resubmit hits the cache.
+	if !submitAndWait(t, m, spec).Status().Cached {
+		t.Fatal("corpus resubmission not cached")
+	}
+}
+
+// TestScenarioArtifactSet pins the artifact inventory of a
+// scenario/fleet job.
+func TestScenarioArtifactSet(t *testing.T) {
+	m := NewManager(Options{Runners: 1})
+	defer m.Close()
+	a, _ := submitAndWait(t, m, cheapSpec(3)).Artifacts()
+	want := []string{"flame.html", "flame.txt", "metrics.prom", "summary.json", "watchdog.json"}
+	got := a.Names()
+	if len(got) != len(want) {
+		t.Fatalf("artifacts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("artifacts = %v, want %v", got, want)
+		}
+		if len(a.Files[want[i]]) == 0 {
+			t.Errorf("artifact %s is empty", want[i])
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/obsv"
+)
+
+// maxSpecBytes bounds a POST /jobs body; a job spec is a handful of
+// scalar fields, so anything near this limit is garbage.
+const maxSpecBytes = 1 << 20
+
+// Register mounts the jobs API onto mux using Go 1.22 method+wildcard
+// patterns:
+//
+//	POST   /jobs                      submit a spec; 200 cached, 202 queued, 429 full
+//	GET    /jobs                      list all jobs
+//	GET    /jobs/{id}                 one job's status
+//	POST   /jobs/{id}/cancel          cancel (also DELETE /jobs/{id})
+//	GET    /jobs/{id}/events          SSE progress stream
+//	GET    /jobs/{id}/artifacts       sorted artifact name list
+//	GET    /jobs/{id}/artifacts/{name...}  one artifact's bytes
+func Register(mux *http.ServeMux, m *Manager) {
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
+		if err := json.NewDecoder(body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+			return
+		}
+		j, err := m.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			// Explicit backpressure: the queue is bounded, the client
+			// retries, the server never buffers unbounded work.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		code := http.StatusAccepted
+		if j.Status().Cached {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, j.Status())
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		list := m.List()
+		out := make([]Status, len(list))
+		for i, j := range list {
+			out[i] = j.Status()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		if !m.Cancel(r.PathValue("id")) {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}
+	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
+	mux.HandleFunc("DELETE /jobs/{id}", cancel)
+
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		j.mu.Lock()
+		initial := j.stateFrameLocked()
+		j.mu.Unlock()
+		j.events.Serve(w, r, []string{initial})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/artifacts", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		arts, ready := j.Artifacts()
+		if !ready {
+			httpError(w, http.StatusConflict, "job not done")
+			return
+		}
+		writeJSON(w, http.StatusOK, arts.Names())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/artifacts/{name...}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		arts, ready := j.Artifacts()
+		if !ready {
+			httpError(w, http.StatusConflict, "job not done")
+			return
+		}
+		name := r.PathValue("name")
+		b, ok := arts.Files[name]
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such artifact")
+			return
+		}
+		w.Header().Set("Content-Type", contentType(name))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+	})
+}
+
+// Attach wires a manager into an obsv server: jobs routes on its mux,
+// manager counters merged into its /metrics, and broker shutdown hooked
+// so Shutdown does not wait out live job streams.
+func Attach(srv *obsv.Server, m *Manager) {
+	mux := http.NewServeMux()
+	Register(mux, m)
+	srv.Mount("/jobs", mux)
+	srv.Mount("/jobs/", mux)
+	srv.AddMetricsSource(m.Snapshot)
+	srv.OnShutdown(m.Close)
+}
+
+func contentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	case strings.HasSuffix(name, ".html"):
+		return "text/html; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

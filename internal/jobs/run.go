@@ -1,0 +1,251 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/accounting"
+	"repro/internal/check"
+	"repro/internal/corpus"
+	"repro/internal/corpus/replay"
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/obsv"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+)
+
+// deviceOut is one device's harvest in a scenario/fleet job. Workers
+// write only their own index — disjoint-index writes, no locking.
+type deviceOut struct {
+	flame    *obsv.Flame
+	findings []obsv.Finding
+	stats    obsv.WindowStats
+	detected bool
+}
+
+// deviceRow is summary.json's per-device line.
+type deviceRow struct {
+	Index      int     `json:"index"`
+	Seed       int64   `json:"seed"`
+	BatteryPct float64 `json:"battery_pct"`
+	DrainedJ   float64 `json:"drained_j"`
+	Findings   int     `json:"findings"`
+	Judged     int     `json:"judged"`
+	Flagged    int     `json:"flagged"`
+	Detected   bool    `json:"detected"`
+	Violations int     `json:"violations"`
+}
+
+// execute runs the job and renders its artifacts. Every byte written
+// here is a pure function of the normalized spec — worker count,
+// scheduling and wall time never leak in — which is the contract the
+// content-addressed cache depends on.
+func (m *Manager) execute(ctx context.Context, j *Job) (Artifacts, error) {
+	switch j.Spec.Kind {
+	case KindScenario, KindFleet:
+		return m.runFleet(ctx, j)
+	case KindCorpus:
+		return m.runCorpus(ctx, j)
+	default:
+		return Artifacts{}, fmt.Errorf("jobs: unknown kind %q", j.Spec.Kind)
+	}
+}
+
+// progressHook bridges fleet progress ticks into the job: it bumps the
+// done counter (for /jobs/{id}) and publishes one SSE frame per
+// finished device.
+func (j *Job) progressHook() func(fleet.Progress) {
+	return func(p fleet.Progress) {
+		j.mu.Lock()
+		if p.Done > j.done {
+			j.done = p.Done
+		}
+		j.mu.Unlock()
+		data, err := json.Marshal(p)
+		if err != nil {
+			return
+		}
+		j.events.Publish(obsv.SSEFrame("progress", string(data)))
+	}
+}
+
+// runFleet executes scenario and fleet jobs: N devices through one
+// corpus cell, each with a watchdog and a flame collector attached.
+func (m *Manager) runFleet(ctx context.Context, j *Job) (Artifacts, error) {
+	spec := j.Spec
+	cell, cellIdx, err := cellByName(spec.Cell)
+	if err != nil {
+		return Artifacts{}, err
+	}
+	n := spec.Devices
+	params := corpus.Params{Horizon: spec.Horizon.std()}
+	outs := make([]deviceOut, n)
+
+	fr, err := fleet.Run(ctx, fleet.Spec{
+		Devices: n,
+		Workers: m.opts.Limits.Workers,
+		Seed:    spec.Seed,
+		Config: device.Config{
+			EAndroid: true,
+			Policy:   accounting.BatteryStats,
+			Checks:   &check.Options{},
+		},
+		Telemetry: &telemetry.Options{},
+		Progress:  j.progressHook(),
+		Scenario: func(i int, dev *device.Device) error {
+			w, err := scenario.Populate(dev)
+			if err != nil {
+				return err
+			}
+			wd, err := obsv.NewWatchdog(dev, obsv.WatchdogOptions{})
+			if err != nil {
+				return err
+			}
+			wd.Start()
+			fc := obsv.AttachFlame(dev)
+			script, err := corpus.Generate(cell,
+				corpus.ScriptSeed(spec.Seed, cellIdx, i), params)
+			if err != nil {
+				return err
+			}
+			if err := script.Apply(w); err != nil {
+				return err
+			}
+			o := &outs[i]
+			o.findings = wd.Finish()
+			for _, f := range o.findings {
+				if f.Signal == obsv.SignalDivergence && f.UID == w.Malware.UID {
+					o.detected = true
+				}
+			}
+			o.stats = wd.Stats()
+			o.flame = fc.Fold()
+			return nil
+		},
+	})
+	if err != nil {
+		return Artifacts{}, err
+	}
+	for i := range fr.Results {
+		if rerr := fr.Results[i].Err; rerr != nil {
+			return Artifacts{}, fmt.Errorf("jobs: device %d: %w", i, rerr)
+		}
+	}
+
+	// summary.json: per-device rows in index order plus totals.
+	rows := make([]deviceRow, n)
+	var totalJ float64
+	var totalFindings, detected int
+	for i := range fr.Results {
+		r := &fr.Results[i]
+		o := &outs[i]
+		rows[i] = deviceRow{
+			Index:      r.Index,
+			Seed:       r.Seed,
+			BatteryPct: r.BatteryPct,
+			DrainedJ:   r.DrainedJ,
+			Findings:   len(o.findings),
+			Judged:     o.stats.Judged,
+			Flagged:    o.stats.Flagged,
+			Detected:   o.detected,
+			Violations: len(r.Violations),
+		}
+		totalJ += r.DrainedJ
+		totalFindings += len(o.findings)
+		if o.detected {
+			detected++
+		}
+	}
+	summary := struct {
+		Spec          Spec        `json:"spec"`
+		Key           string      `json:"key"`
+		Devices       []deviceRow `json:"devices"`
+		TotalDrainedJ float64     `json:"total_drained_j"`
+		TotalFindings int         `json:"total_findings"`
+		DetectedRuns  int         `json:"detected_runs"`
+	}{spec, j.Key, rows, totalJ, totalFindings, detected}
+	summaryJSON, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return Artifacts{}, err
+	}
+
+	// watchdog.json: per-device findings, index order.
+	findings := make([][]obsv.Finding, n)
+	for i := range outs {
+		findings[i] = outs[i].findings
+		if findings[i] == nil {
+			findings[i] = []obsv.Finding{}
+		}
+	}
+	watchdogJSON, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return Artifacts{}, err
+	}
+
+	// Flame graph: merge in index order (MergeFlames is deterministic
+	// in argument order). The title carries the cell and content
+	// address — never the job ID, which differs between identical
+	// submissions.
+	flames := make([]*obsv.Flame, 0, n)
+	for i := range outs {
+		if outs[i].flame != nil {
+			flames = append(flames, outs[i].flame)
+		}
+	}
+	merged := obsv.MergeFlames(flames...)
+	var collapsed, html bytes.Buffer
+	if err := merged.WriteCollapsed(&collapsed); err != nil {
+		return Artifacts{}, err
+	}
+	title := fmt.Sprintf("%s %s [%s]", spec.Kind, spec.Cell, j.Key[:12])
+	if err := merged.WriteHTML(&html, title); err != nil {
+		return Artifacts{}, err
+	}
+
+	var prom bytes.Buffer
+	if fr.Metrics != nil {
+		if err := obsv.WritePrometheus(&prom, fr.Metrics); err != nil {
+			return Artifacts{}, err
+		}
+	}
+
+	return Artifacts{Files: map[string][]byte{
+		"summary.json":  summaryJSON,
+		"watchdog.json": watchdogJSON,
+		"flame.txt":     collapsed.Bytes(),
+		"flame.html":    html.Bytes(),
+		"metrics.prom":  prom.Bytes(),
+	}}, nil
+}
+
+// runCorpus executes corpus jobs: one cell × reps through the
+// statistical replay harness.
+func (m *Manager) runCorpus(ctx context.Context, j *Job) (Artifacts, error) {
+	spec := j.Spec
+	cell, _, err := cellByName(spec.Cell)
+	if err != nil {
+		return Artifacts{}, err
+	}
+	res, err := replay.Run(ctx, replay.Options{
+		RootSeed: spec.Seed,
+		Reps:     spec.Reps,
+		Workers:  m.opts.Limits.Workers,
+		Horizon:  spec.Horizon.std(),
+		Cells:    []corpus.Cell{cell},
+		Progress: j.progressHook(),
+	})
+	if err != nil {
+		return Artifacts{}, err
+	}
+	cellsJSON, err := res.MarshalCells()
+	if err != nil {
+		return Artifacts{}, err
+	}
+	return Artifacts{Files: map[string][]byte{
+		"summary.json": cellsJSON,
+		"summary.txt":  []byte(res.Render()),
+	}}, nil
+}

@@ -1,0 +1,228 @@
+// Package jobs is the simulation-as-a-service control plane: a bounded
+// job queue and runner pool layered over the fleet runner, the scenario
+// corpus and the obsv observability plane. Clients POST a job spec
+// (single scenario, fleet, or corpus cell × reps), stream progress over
+// SSE, and fetch artifacts (summary JSON, flame HTML, Prometheus text,
+// watchdog findings) once the job completes.
+//
+// Because every simulation in this repo is byte-deterministic — pinned
+// since the fleet runner's workers-1-vs-8 goldens — a job's artifacts
+// are a pure function of its normalized spec. Results therefore live in
+// a content-addressed cache keyed by a canonical hash of (kind, cell,
+// seed, shape): resubmitting an identical spec is an O(1) lookup
+// returning byte-identical artifacts, which is the honest path to high
+// request throughput on modest hardware. The cache carries an LRU byte
+// budget; the queue is bounded and overload answers 429 + Retry-After
+// rather than queueing without limit.
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// Job kinds.
+const (
+	// KindScenario runs one device through one corpus cell script.
+	KindScenario = "scenario"
+	// KindFleet runs N devices through the same cell at per-device
+	// derived seeds — a small population of that behaviour.
+	KindFleet = "fleet"
+	// KindCorpus runs a corpus cell × reps through the statistical
+	// replay harness, returning Wilson-interval detection statistics.
+	KindCorpus = "corpus"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("4h0m0s") and unmarshals from either a duration string or a
+// nanosecond number, so job specs read naturally as JSON.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// std converts back to the standard library type.
+func (d Duration) std() time.Duration { return time.Duration(d) }
+
+// UnmarshalJSON accepts "1h30m" strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		dur, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("jobs: bad duration %q: %w", s, err)
+		}
+		*d = Duration(dur)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("jobs: duration must be a string or nanoseconds: %w", err)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Spec is a job request: what to simulate. The zero values of optional
+// fields are filled by Normalize; everything that survives
+// normalization participates in the content-address (except nothing —
+// every normalized field is hashed; runtime knobs like worker count
+// live in Limits, not here, precisely because they cannot change the
+// artifacts).
+type Spec struct {
+	// Kind is one of KindScenario, KindFleet, KindCorpus.
+	Kind string `json:"kind"`
+	// Cell names the corpus cell "archetype/variant" (see
+	// internal/corpus); it selects the behaviour simulated.
+	Cell string `json:"cell"`
+	// Seed is the job's root seed; per-device script seeds derive from
+	// it.
+	Seed int64 `json:"seed"`
+	// Devices is the fleet size (KindFleet only; scenario jobs are
+	// forced to 1). Zero means DefaultFleetDevices.
+	Devices int `json:"devices,omitempty"`
+	// Reps is the per-cell repetition count (KindCorpus only). Zero
+	// means DefaultCorpusReps.
+	Reps int `json:"reps,omitempty"`
+	// Horizon is the virtual span of each simulated device; zero means
+	// corpus.DefaultHorizon.
+	Horizon Duration `json:"horizon,omitempty"`
+}
+
+// Normalization defaults.
+const (
+	// DefaultFleetDevices is a KindFleet job's device count when unset.
+	DefaultFleetDevices = 4
+	// DefaultCorpusReps is a KindCorpus job's repetition count when
+	// unset — small: service jobs are interactive, the committed
+	// 40-rep statistics live in BENCH_corpus.json.
+	DefaultCorpusReps = 5
+)
+
+// Limits are the server-side per-job resource bounds. Zero fields take
+// the defaults below.
+type Limits struct {
+	// MaxDevices bounds a single job's device count (fleet devices or
+	// corpus reps).
+	MaxDevices int
+	// MaxSimHours bounds devices × horizon, the job's total simulated
+	// time.
+	MaxSimHours float64
+	// MaxWall is the per-job wall-clock deadline; the job's context is
+	// cancelled when it expires.
+	MaxWall time.Duration
+	// Workers bounds the fleet worker pool each job runs on (0 =
+	// GOMAXPROCS). Deliberately absent from Spec: artifacts are
+	// byte-identical for any worker count, so parallelism is the
+	// server's business, not the content address's.
+	Workers int
+}
+
+// Default limits.
+const (
+	DefaultMaxDevices  = 256
+	DefaultMaxSimHours = 4096
+	DefaultMaxWall     = 2 * time.Minute
+)
+
+func (l *Limits) fill() {
+	if l.MaxDevices <= 0 {
+		l.MaxDevices = DefaultMaxDevices
+	}
+	if l.MaxSimHours <= 0 {
+		l.MaxSimHours = DefaultMaxSimHours
+	}
+	if l.MaxWall <= 0 {
+		l.MaxWall = DefaultMaxWall
+	}
+}
+
+// cellByName resolves "archetype/variant" against the canonical corpus
+// grid, returning the cell and its canonical index (the same index the
+// replay harness uses in its seed chain).
+func cellByName(name string) (corpus.Cell, int, error) {
+	for i, c := range corpus.Cells() {
+		if c.String() == name {
+			return c, i, nil
+		}
+	}
+	return corpus.Cell{}, 0, fmt.Errorf("jobs: unknown cell %q (want archetype/variant from the corpus grid, e.g. %q)",
+		name, corpus.Cells()[0].String())
+}
+
+// Normalize validates the spec against the limits and fills defaults.
+// The returned spec is canonical: two requests that mean the same job
+// normalize to identical specs and therefore identical content
+// addresses.
+func (s Spec) Normalize(lim Limits) (Spec, error) {
+	lim.fill()
+	switch s.Kind {
+	case KindScenario:
+		s.Devices = 1
+		s.Reps = 0
+	case KindFleet:
+		if s.Devices == 0 {
+			s.Devices = DefaultFleetDevices
+		}
+		if s.Devices < 1 {
+			return Spec{}, fmt.Errorf("jobs: fleet devices %d < 1", s.Devices)
+		}
+		s.Reps = 0
+	case KindCorpus:
+		if s.Reps == 0 {
+			s.Reps = DefaultCorpusReps
+		}
+		if s.Reps < 1 {
+			return Spec{}, fmt.Errorf("jobs: corpus reps %d < 1", s.Reps)
+		}
+		s.Devices = 0
+	default:
+		return Spec{}, fmt.Errorf("jobs: unknown kind %q (want %s, %s or %s)",
+			s.Kind, KindScenario, KindFleet, KindCorpus)
+	}
+	if _, _, err := cellByName(s.Cell); err != nil {
+		return Spec{}, err
+	}
+	if s.Horizon == 0 {
+		s.Horizon = Duration(corpus.DefaultHorizon)
+	}
+	if time.Duration(s.Horizon) < corpus.MinHorizon {
+		return Spec{}, fmt.Errorf("jobs: horizon %v below corpus minimum %v",
+			time.Duration(s.Horizon), corpus.MinHorizon)
+	}
+	n := s.totalDevices()
+	if n > lim.MaxDevices {
+		return Spec{}, fmt.Errorf("jobs: %d devices exceeds the per-job limit %d", n, lim.MaxDevices)
+	}
+	if hrs := float64(n) * time.Duration(s.Horizon).Hours(); hrs > lim.MaxSimHours {
+		return Spec{}, fmt.Errorf("jobs: %.1f sim-hours (%d devices × %v) exceeds the per-job limit %.1f",
+			hrs, n, time.Duration(s.Horizon), lim.MaxSimHours)
+	}
+	return s, nil
+}
+
+// totalDevices is how many device simulations the job fans out to.
+func (s Spec) totalDevices() int {
+	if s.Kind == KindCorpus {
+		return s.Reps
+	}
+	return s.Devices
+}
+
+// Key is the job's content address: a SHA-256 over a fixed-order
+// rendering of every normalized field. Two specs with equal keys
+// produce byte-identical artifacts (determinism is the repo's standing
+// gate), which is what makes the result cache sound.
+func (s Spec) Key() string {
+	canon := fmt.Sprintf("jobs/v1|kind=%s|cell=%s|seed=%d|devices=%d|reps=%d|horizon=%d",
+		s.Kind, s.Cell, s.Seed, s.Devices, s.Reps, int64(s.Horizon))
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,145 @@
+package jobs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+func TestDurationJSON(t *testing.T) {
+	// Marshal: human-readable string.
+	b, err := json.Marshal(Duration(90 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1h30m0s"` {
+		t.Fatalf("marshal = %s, want \"1h30m0s\"", b)
+	}
+	// Unmarshal: string form.
+	var d Duration
+	if err := json.Unmarshal([]byte(`"2h"`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.std() != 2*time.Hour {
+		t.Fatalf("from string = %v, want 2h", d.std())
+	}
+	// Unmarshal: nanosecond number.
+	if err := json.Unmarshal([]byte(`3600000000000`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.std() != time.Hour {
+		t.Fatalf("from ns = %v, want 1h", d.std())
+	}
+	// Garbage.
+	if err := json.Unmarshal([]byte(`"not-a-duration"`), &d); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	lim := Limits{}
+	s, err := Spec{Kind: KindScenario, Cell: "idle-mostly/benign", Seed: 1}.Normalize(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Devices != 1 || s.Reps != 0 {
+		t.Fatalf("scenario shape = %d devices, %d reps; want 1, 0", s.Devices, s.Reps)
+	}
+	if s.Horizon.std() != corpus.DefaultHorizon {
+		t.Fatalf("horizon = %v, want default %v", s.Horizon.std(), corpus.DefaultHorizon)
+	}
+
+	s, err = Spec{Kind: KindFleet, Cell: "gamer/coordinated-collateral", Seed: 2}.Normalize(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Devices != DefaultFleetDevices {
+		t.Fatalf("fleet devices = %d, want default %d", s.Devices, DefaultFleetDevices)
+	}
+
+	s, err = Spec{Kind: KindCorpus, Cell: "commuter/benign", Seed: 3}.Normalize(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Reps != DefaultCorpusReps || s.Devices != 0 {
+		t.Fatalf("corpus shape = %d devices, %d reps; want 0, %d", s.Devices, s.Reps, DefaultCorpusReps)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	lim := Limits{}
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown kind", Spec{Kind: "batch", Cell: "idle-mostly/benign"}, "unknown kind"},
+		{"unknown cell", Spec{Kind: KindScenario, Cell: "desktop/benign"}, "unknown cell"},
+		{"short horizon", Spec{Kind: KindScenario, Cell: "idle-mostly/benign", Horizon: Duration(time.Minute)}, "below corpus minimum"},
+		{"negative devices", Spec{Kind: KindFleet, Cell: "idle-mostly/benign", Devices: -2}, "< 1"},
+		{"negative reps", Spec{Kind: KindCorpus, Cell: "idle-mostly/benign", Reps: -1}, "< 1"},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Normalize(lim); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNormalizeLimits(t *testing.T) {
+	lim := Limits{MaxDevices: 8, MaxSimHours: 10}
+	if _, err := (Spec{Kind: KindFleet, Cell: "idle-mostly/benign", Devices: 9}).Normalize(lim); err == nil {
+		t.Fatal("9 devices accepted against MaxDevices 8")
+	}
+	// 8 devices × 4h default horizon = 32 sim-hours > 10.
+	if _, err := (Spec{Kind: KindFleet, Cell: "idle-mostly/benign", Devices: 8}).Normalize(lim); err == nil {
+		t.Fatal("32 sim-hours accepted against MaxSimHours 10")
+	}
+	// 8 × 1h = 8 sim-hours fits.
+	if _, err := (Spec{Kind: KindFleet, Cell: "idle-mostly/benign", Devices: 8,
+		Horizon: Duration(time.Hour)}).Normalize(lim); err != nil {
+		t.Fatalf("8 sim-hours rejected: %v", err)
+	}
+}
+
+// TestKeyCanonical: the content address is stable across representation
+// differences that normalize away, and differs when any semantic field
+// differs.
+func TestKeyCanonical(t *testing.T) {
+	lim := Limits{}
+	base, err := Spec{Kind: KindScenario, Cell: "idle-mostly/benign", Seed: 42}.Normalize(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit defaults hash identically to omitted ones.
+	explicit, err := Spec{Kind: KindScenario, Cell: "idle-mostly/benign", Seed: 42,
+		Devices: 7, // scenario forces 1; shape noise must not leak into the key
+		Horizon: Duration(corpus.DefaultHorizon)}.Normalize(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Key() != explicit.Key() {
+		t.Fatalf("normalized-equal specs hash differently:\n%s\n%s", base.Key(), explicit.Key())
+	}
+	// Any semantic change changes the key.
+	for name, alt := range map[string]Spec{
+		"seed":    {Kind: KindScenario, Cell: "idle-mostly/benign", Seed: 43},
+		"cell":    {Kind: KindScenario, Cell: "gamer/benign", Seed: 42},
+		"kind":    {Kind: KindFleet, Cell: "idle-mostly/benign", Seed: 42},
+		"horizon": {Kind: KindScenario, Cell: "idle-mostly/benign", Seed: 42, Horizon: Duration(2 * time.Hour)},
+	} {
+		n, err := alt.Normalize(lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Key() == base.Key() {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+	if len(base.Key()) != 64 {
+		t.Fatalf("key length = %d, want 64 hex chars", len(base.Key()))
+	}
+}

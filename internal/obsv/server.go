@@ -47,11 +47,18 @@ type Server struct {
 	watchMu  sync.Mutex
 	findings []Finding
 
-	watchSSE *sseBroker
-	fleetSSE *sseBroker
+	watchSSE *SSEBroker
+	fleetSSE *SSEBroker
 
 	trackMu sync.Mutex
 	tracker *FleetTracker
+
+	// srcMu guards the extra metrics sources and shutdown hooks that
+	// mounted subsystems (the jobs control plane) register.
+	srcMu    sync.Mutex
+	sources  []func() *telemetry.Snapshot
+	onClose  []func()
+	hooksRan bool
 }
 
 // NewServer builds a server with all routes registered; nothing listens
@@ -59,8 +66,8 @@ type Server struct {
 func NewServer() *Server {
 	s := &Server{
 		mux:      http.NewServeMux(),
-		watchSSE: newSSEBroker(),
-		fleetSSE: newSSEBroker(),
+		watchSSE: NewSSEBroker(),
+		fleetSSE: NewSSEBroker(),
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -83,21 +90,69 @@ func NewServer() *Server {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.mux.HandleFunc("/fleet", s.handleFleet)
 	s.mux.HandleFunc("/fleet/events", func(w http.ResponseWriter, r *http.Request) {
-		s.fleetSSE.serve(w, r, s.fleetStateFrame())
+		s.fleetSSE.Serve(w, r, s.fleetStateFrame())
 	})
 	s.mux.HandleFunc("/watchdog", s.handleWatchdog)
 	s.mux.HandleFunc("/watchdog/events", func(w http.ResponseWriter, r *http.Request) {
-		s.watchSSE.serve(w, r, s.watchdogStateFrame())
+		s.watchSSE.Serve(w, r, s.watchdogStateFrame())
 	})
 	s.mux.HandleFunc("/flame", s.handleFlame)
 	s.mux.HandleFunc("/flame.txt", s.handleFlameTxt)
-	s.srv = &http.Server{Handler: s.mux}
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers (the slowloris hole an unset value leaves open);
+	// IdleTimeout reclaims keep-alive connections that went quiet. SSE
+	// streams are unaffected: both timers apply between requests, not to
+	// a streaming response body.
+	s.srv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	return s
 }
 
 // Handler exposes the route mux (for tests driving it without a
 // listener).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Mount registers an extra handler on the server's mux under pattern
+// (Go 1.22 patterns: methods and wildcards allowed). The jobs control
+// plane mounts its /jobs routes here so one server carries both planes.
+func (s *Server) Mount(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// AddMetricsSource registers a snapshot source merged into every
+// /metrics response alongside the published snapshot. Sources are
+// called on each scrape and must be safe for concurrent use.
+func (s *Server) AddMetricsSource(fn func() *telemetry.Snapshot) {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	s.sources = append(s.sources, fn)
+}
+
+// OnShutdown registers a hook run at the start of Shutdown, before the
+// HTTP server begins waiting for in-flight requests. Mounted subsystems
+// use it to close their own SSE brokers so lingering streams end
+// promptly instead of holding Shutdown to its deadline.
+func (s *Server) OnShutdown(fn func()) {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	s.onClose = append(s.onClose, fn)
+}
+
+// runShutdownHooks runs the registered hooks exactly once.
+func (s *Server) runShutdownHooks() {
+	s.srcMu.Lock()
+	hooks := s.onClose
+	ran := s.hooksRan
+	s.hooksRan = true
+	s.srcMu.Unlock()
+	if ran {
+		return
+	}
+	for _, fn := range hooks {
+		fn()
+	}
+}
 
 // Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
 // serves in a background goroutine. It returns the bound address.
@@ -115,8 +170,9 @@ func (s *Server) Start(addr string) (string, error) {
 // deadline. SSE streams are closed first so Shutdown does not wait out
 // their subscribers.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.watchSSE.closeAll()
-	s.fleetSSE.closeAll()
+	s.runShutdownHooks()
+	s.watchSSE.CloseAll()
+	s.fleetSSE.CloseAll()
 	return s.srv.Shutdown(ctx)
 }
 
@@ -164,7 +220,7 @@ func (s *Server) PublishFinding(f Finding) {
 	s.findings = append(s.findings, f)
 	s.watchMu.Unlock()
 	if data, err := json.Marshal(f); err == nil {
-		s.watchSSE.publish(sseFrame("finding", string(data)))
+		s.watchSSE.Publish(SSEFrame("finding", string(data)))
 	}
 }
 
@@ -180,7 +236,7 @@ func (s *Server) TrackFleet(total int) func(fleet.Progress) {
 	return func(p fleet.Progress) {
 		hook(p)
 		if data, err := json.Marshal(p); err == nil {
-			s.fleetSSE.publish(sseFrame("progress", string(data)))
+			s.fleetSSE.Publish(SSEFrame("progress", string(data)))
 		}
 	}
 }
@@ -202,8 +258,30 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.srcMu.Lock()
+	sources := s.sources
+	s.srcMu.Unlock()
+	snaps := []*telemetry.Snapshot{s.snap.Load(), s.ownMetrics()}
+	for _, fn := range sources {
+		snaps = append(snaps, fn())
+	}
+	merged, err := telemetry.MergeSnapshots(snaps)
+	if err != nil {
+		http.Error(w, "merge metrics: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = WritePrometheus(w, s.snap.Load())
+	_ = WritePrometheus(w, merged)
+}
+
+// ownMetrics is the server's self-instrumentation: the SSE brokers'
+// stuck-subscriber drop counts, always present on /metrics so a
+// misbehaving scraper is visible from any other scraper.
+func (s *Server) ownMetrics() *telemetry.Snapshot {
+	m := telemetry.NewMetrics()
+	m.Counter("obsv.sse.dropped_subscribers").Add(
+		float64(s.watchSSE.Dropped() + s.fleetSSE.Dropped()))
+	return m.Snapshot()
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
@@ -266,7 +344,7 @@ func (s *Server) fleetStateFrame() []string {
 	if err != nil {
 		return nil
 	}
-	return []string{sseFrame("state", string(data))}
+	return []string{SSEFrame("state", string(data))}
 }
 
 // watchdogStateFrame replays all findings so far as the initial frame.
@@ -281,7 +359,7 @@ func (s *Server) watchdogStateFrame() []string {
 	if err != nil {
 		return nil
 	}
-	return []string{sseFrame("state", string(data))}
+	return []string{SSEFrame("state", string(data))}
 }
 
 // FleetState is the /fleet JSON payload.
@@ -328,99 +406,4 @@ func (t *FleetTracker) State() FleetState {
 	}
 	sort.Slice(st.Devices, func(i, j int) bool { return st.Devices[i].Index < st.Devices[j].Index })
 	return st
-}
-
-// sseFrame renders one server-sent event.
-func sseFrame(event, data string) string {
-	return "event: " + event + "\ndata: " + data + "\n\n"
-}
-
-// sseBroker fans frames out to subscribers. Slow subscribers drop
-// frames (non-blocking send into a buffered channel) rather than stall
-// the publisher — the publisher is a fleet worker or the simulation
-// loop, which must never wait on a network peer.
-type sseBroker struct {
-	mu     sync.Mutex
-	subs   map[chan string]struct{}
-	closed bool
-}
-
-func newSSEBroker() *sseBroker {
-	return &sseBroker{subs: make(map[chan string]struct{})}
-}
-
-func (b *sseBroker) publish(frame string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for ch := range b.subs {
-		select {
-		case ch <- frame:
-		default: // slow subscriber: drop
-		}
-	}
-}
-
-func (b *sseBroker) subscribe() chan string {
-	ch := make(chan string, 64)
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		close(ch)
-		return ch
-	}
-	b.subs[ch] = struct{}{}
-	return ch
-}
-
-func (b *sseBroker) unsubscribe(ch chan string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.subs[ch]; ok {
-		delete(b.subs, ch)
-	}
-}
-
-func (b *sseBroker) closeAll() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.closed = true
-	for ch := range b.subs {
-		close(ch)
-		delete(b.subs, ch)
-	}
-}
-
-// serve runs one SSE subscription: initial frames first (so every
-// subscriber sees at least one event immediately), then the live feed
-// until the client disconnects or the broker closes.
-func (b *sseBroker) serve(w http.ResponseWriter, r *http.Request, initial []string) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-	for _, f := range initial {
-		_, _ = fmt.Fprint(w, f)
-	}
-	fl.Flush()
-	ch := b.subscribe()
-	defer b.unsubscribe(ch)
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case frame, ok := <-ch:
-			if !ok {
-				return
-			}
-			if _, err := fmt.Fprint(w, frame); err != nil {
-				return
-			}
-			fl.Flush()
-		}
-	}
 }

@@ -1,0 +1,98 @@
+// Package serveutil is the one place the CLIs wire up the -serve
+// observability plane. Every command used to repeat the same tail —
+// build an obsv.Server, start it, print the banner, shut down on error
+// or await Ctrl-C — and the jobs control plane would have made a fifth
+// copy. Instead each command parses its flags into an Options and the
+// shared Start/Finish pair does the rest, so "-serve" (and now
+// "-serve-jobs") behaves identically everywhere.
+package serveutil
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obsv"
+)
+
+// Options configures one command's serve plane.
+type Options struct {
+	// Addr is the -serve listen address; empty means no plane.
+	Addr string
+	// Name is the command name, used in the startup banner.
+	Name string
+	// Jobs mounts the jobs control plane (-serve-jobs) on the same mux.
+	Jobs bool
+	// JobsOptions configures the manager when Jobs is set.
+	JobsOptions jobs.Options
+	// Banner receives the startup line (defaults to stderr in the
+	// commands; tests pass io.Discard).
+	Banner io.Writer
+}
+
+// Plane is a running observability plane: the obsv server plus, when
+// enabled, the jobs manager attached to it.
+type Plane struct {
+	// Server is the running obsv server.
+	Server *obsv.Server
+	// Manager is the jobs control plane; nil unless Options.Jobs.
+	Manager *jobs.Manager
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+}
+
+// Start boots the plane described by opts. A nil Plane (and nil error)
+// means opts.Addr was empty and the command runs unserved; callers pass
+// the nil Plane straight to Finish, which then just forwards the run
+// error. Jobs without an Addr is an error: the control plane is an HTTP
+// surface, it cannot exist unserved.
+func Start(opts Options) (*Plane, error) {
+	if opts.Addr == "" {
+		if opts.Jobs {
+			return nil, fmt.Errorf("%s: -serve-jobs requires -serve ADDR", opts.Name)
+		}
+		return nil, nil
+	}
+	srv := obsv.NewServer()
+	p := &Plane{Server: srv}
+	if opts.Jobs {
+		p.Manager = jobs.NewManager(opts.JobsOptions)
+		jobs.Attach(srv, p.Manager)
+	}
+	bound, err := srv.Start(opts.Addr)
+	if err != nil {
+		if p.Manager != nil {
+			p.Manager.Close()
+		}
+		return nil, err
+	}
+	p.Addr = bound
+	if opts.Banner != nil {
+		endpoints := "/metrics, /flame, /watchdog, /debug/pprof/"
+		if opts.Jobs {
+			endpoints += ", /jobs"
+		}
+		fmt.Fprintf(opts.Banner, "%s: serving http://%s (%s)\n", opts.Name, bound, endpoints)
+	}
+	return p, nil
+}
+
+// Finish is the common CLI tail. On a nil plane it forwards runErr. On
+// a run error it tears the plane down quickly and forwards the error;
+// on success it blocks until Ctrl-C (or stop closes) and shuts down
+// cleanly. The jobs manager, when present, is closed by the server's
+// shutdown hooks either way.
+func (p *Plane) Finish(runErr error, stop <-chan struct{}) error {
+	if p == nil {
+		return runErr
+	}
+	if runErr != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = p.Server.Shutdown(ctx)
+		return runErr
+	}
+	return p.Server.AwaitShutdown(stop)
+}

@@ -1,0 +1,66 @@
+package serveutil
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+func TestNoAddrMeansNoPlane(t *testing.T) {
+	p, err := Start(Options{Name: "x"})
+	if err != nil || p != nil {
+		t.Fatalf("Start with no addr = %v, %v; want nil, nil", p, err)
+	}
+	// Finish on a nil plane forwards the run error untouched.
+	if err := p.Finish(nil, nil); err != nil {
+		t.Fatalf("nil plane Finish = %v", err)
+	}
+}
+
+func TestJobsRequireAddr(t *testing.T) {
+	if _, err := Start(Options{Name: "x", Jobs: true}); err == nil {
+		t.Fatal("-serve-jobs without -serve accepted")
+	}
+}
+
+func TestJobsPlaneServes(t *testing.T) {
+	p, err := Start(Options{Addr: "127.0.0.1:0", Name: "x", Jobs: true, Banner: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Manager == nil {
+		t.Fatal("Jobs plane has no manager")
+	}
+	// The jobs API and the metrics merge are both live on the one mux.
+	resp, err := http.Get("http://" + p.Addr + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs: HTTP %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + p.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "jobs_submitted") {
+		t.Fatalf("/metrics missing jobs counters:\n%s", b)
+	}
+
+	stop := make(chan struct{})
+	close(stop)
+	if err := p.Finish(nil, stop); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	// The shutdown hook closed the manager: further submissions fail.
+	if _, err := p.Manager.Submit(jobs.Spec{Kind: jobs.KindScenario,
+		Cell: "idle-mostly/benign"}); err != jobs.ErrClosed {
+		t.Fatalf("Submit after Finish = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,106 @@
+package eandroid_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	eandroid "repro"
+)
+
+// TestPublicJobs exercises the jobs re-exports end to end: a manager
+// built through the root API, its HTTP surface mounted on an
+// observability server, one job submitted over the wire, artifacts
+// fetched, and a resubmission answered from the content-addressed
+// cache.
+func TestPublicJobs(t *testing.T) {
+	m := eandroid.NewJobManager(eandroid.JobManagerOptions{Runners: 1})
+	srv := eandroid.NewObsvServer()
+	eandroid.AttachJobs(srv, m)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	spec := `{"kind":"scenario","cell":"idle-mostly/benign","seed":7,"horizon":"1h"}`
+	post := func() eandroid.JobStatus {
+		resp, err := http.Post("http://"+addr+"/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("POST /jobs: status %d, body %q", resp.StatusCode, body)
+		}
+		var st eandroid.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := post()
+	if st.Spec.Kind != eandroid.JobKindScenario {
+		t.Fatalf("kind = %q, want %q", st.Spec.Kind, eandroid.JobKindScenario)
+	}
+	fetch := func(path string) (int, []byte) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		code, body := fetch("/jobs/" + st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: status %d", st.ID, code)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	code, summary := fetch("/jobs/" + st.ID + "/artifacts/summary.json")
+	if code != http.StatusOK || !bytes.Contains(summary, []byte("idle-mostly/benign")) {
+		t.Fatalf("summary.json: status %d, body %q", code, summary)
+	}
+
+	// Same spec again: a content-addressed cache hit with a fresh ID,
+	// born terminal, byte-identical artifacts.
+	st2 := post()
+	if !st2.Cached || st2.ID == st.ID || st2.Key != st.Key {
+		t.Fatalf("resubmission not a cache hit: %+v", st2)
+	}
+	code, summary2 := fetch("/jobs/" + st2.ID + "/artifacts/summary.json")
+	if code != http.StatusOK || !bytes.Equal(summary, summary2) {
+		t.Fatalf("cached summary.json differs (status %d)", code)
+	}
+}
