@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench telemetry-bench check-bench obsv-bench obsv-smoke corpus-bench corpus-smoke jobs-smoke jobs-bench fuzz-short fuzz-corpus-short clean
+.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench fleet-mem telemetry-bench check-bench obsv-bench obsv-smoke corpus-bench corpus-smoke jobs-smoke jobs-bench fuzz-short fuzz-corpus-short clean
 
 all: build test
 
@@ -41,9 +41,17 @@ bench:
 bench-gate:
 	$(GO) run ./cmd/benchsuite -benchcmp
 
-# Regenerate the BENCH_fleet.json scaling artifact.
+# Regenerate the BENCH_fleet.json scaling artifact (wall times,
+# bytes/device, device-sim-hours/sec).
 fleet-bench:
-	$(GO) run ./cmd/benchsuite -fleet 64 -workers 8
+	$(GO) run ./cmd/benchsuite -fleet 64 -workers 8 -shards 8
+
+# Memory-budget study: a 100k-device heterogeneous population fleet down
+# the streaming path must finish inside a constant peak-heap budget
+# (256 MiB growth) — proof the accumulator is O(workers+window), not
+# O(devices).
+fleet-mem:
+	$(GO) run ./cmd/benchsuite -fleet-mem 100000
 
 # Regenerate the BENCH_telemetry.json overhead artifact (and enforce the
 # enabled <= 10% / disabled <= 1% gates).

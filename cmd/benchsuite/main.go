@@ -9,7 +9,8 @@
 //	benchsuite -micro     # Figure 10 only
 //	benchsuite -antutu    # Figure 11 only
 //	benchsuite -energy    # energy-efficiency check only
-//	benchsuite -fleet 64 -workers 8   # fleet scaling study -> BENCH_fleet.json
+//	benchsuite -fleet 64 -workers 8 -shards 8   # fleet scaling study -> BENCH_fleet.json
+//	benchsuite -fleet-mem 100000      # streaming memory-budget study (peak heap + bytes/device)
 //	benchsuite -telemetry             # overhead study -> BENCH_telemetry.json
 //	benchsuite -obsv                  # observability overhead study -> BENCH_obsv.json
 //	benchsuite -corpus                # scenario-corpus statistical replay -> BENCH_corpus.json
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/accounting"
@@ -34,6 +37,8 @@ import (
 	"repro/internal/corpus/replay"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/fleet/population"
 	"repro/internal/microbench"
 	"repro/internal/scenario"
 	"repro/internal/serveutil"
@@ -54,6 +59,8 @@ func run(args []string) error {
 	reps := fs.Int("reps", microbench.DefaultReps, "micro benchmark repetitions")
 	fleetN := fs.Int("fleet", 0, "run an N-device fleet scaling study")
 	workers := fs.Int("workers", 0, "fleet worker count (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "fleet accumulator shard count (0 = workers)")
+	fleetMem := fs.Int("fleet-mem", 0, "run the streaming memory-budget study over an N-device population fleet (CI uses >= 100k)")
 	fleetSeed := fs.Int64("fleet-seed", 42, "fleet seed (per-device seeds derive from it)")
 	fleetReps := fs.Int("fleet-reps", defaultFleetReps, "fleet study repetitions (min wall time per worker count)")
 	fleetOut := fs.String("fleet-out", "BENCH_fleet.json", "fleet artifact path (empty = don't write)")
@@ -135,8 +142,11 @@ func run(args []string) error {
 		if *jobsStudy {
 			return jobsBench(*jobsReps, *jobsOut)
 		}
+		if *fleetMem > 0 {
+			return fleetMemStudy(*fleetMem, *workers, *fleetSeed)
+		}
 		if *fleetN > 0 {
-			return fleetBench(*fleetN, *workers, *fleetSeed, *fleetReps, *fleetOut)
+			return fleetBench(*fleetN, *workers, *shards, *fleetSeed, *fleetReps, *fleetOut)
 		}
 		all := !*micro && !*antutuOnly && !*energy
 
@@ -182,16 +192,28 @@ type fleetArtifact struct {
 	Runs          []fleetTiming `json:"runs"`
 	Speedup       float64       `json:"speedup"`
 	Deterministic bool          `json:"deterministic"`
-	Summary       fleetNumbers  `json:"summary"`
+	// BytesPerDevice is the streaming path's allocation footprint: the
+	// min-over-reps runtime.MemStats.TotalAlloc delta of the parallel
+	// leg divided by the device count. benchcmp gates it alongside the
+	// wall times — a fleet whose per-device churn creeps up will blow
+	// the memory budget long before it blows the clock.
+	BytesPerDevice float64 `json:"bytes_per_device"`
+	// DeviceSimHoursPerSec is fleet throughput in simulated device-hours
+	// per wall second (Summary.TotalSimH over the parallel leg's minimum
+	// wall time).
+	DeviceSimHoursPerSec float64      `json:"device_sim_hours_per_sec"`
+	Summary              fleetNumbers `json:"summary"`
 }
 
 type fleetTiming struct {
 	Workers int     `json:"workers"`
+	Shards  int     `json:"shards"`
 	WallMS  float64 `json:"wall_ms"`
 }
 
 type fleetNumbers struct {
 	TotalDrainedJ float64 `json:"total_drained_j"`
+	TotalSimH     float64 `json:"total_sim_h"`
 	Attacks       int     `json:"attacks"`
 	DetectionRate float64 `json:"detection_rate"`
 	Failed        int     `json:"failed"`
@@ -209,8 +231,8 @@ const fleetSpeedupGate = 3.0
 const defaultFleetReps = 3
 
 // fleetBench runs the fleet study and records it in BENCH_fleet.json.
-func fleetBench(devices, workers int, seed int64, reps int, outPath string) error {
-	art, gateErr := fleetStudy(devices, workers, seed, reps)
+func fleetBench(devices, workers, shards int, seed int64, reps int, outPath string) error {
+	art, gateErr := fleetStudy(devices, workers, shards, seed, reps)
 	if art.Devices == 0 { // study itself failed before producing numbers
 		return gateErr
 	}
@@ -228,12 +250,15 @@ func fleetBench(devices, workers int, seed int64, reps int, outPath string) erro
 }
 
 // fleetStudy runs the stealth-attack fleet serially and with the
-// requested worker count (reps times each, keeping the minimum wall
-// time), prints the aggregate, checks the renders match byte for byte,
-// and enforces the determinism and (when the host has the CPUs for it)
-// speedup gates. The artifact is returned even when a gate fails so
-// callers can still record the numbers.
-func fleetStudy(devices, workers int, seed int64, reps int) (fleetArtifact, error) {
+// requested worker and shard counts (reps times each, keeping the
+// minimum wall time and allocation delta), prints the aggregate, checks
+// the renders match byte for byte across both legs, and enforces the
+// determinism and (when the host has the CPUs for it) speedup gates.
+// The fleet runs the streaming path — no per-device Results are
+// retained — so the allocation delta is exactly the churn the
+// bytes/device budget gates. The artifact is returned even when a gate
+// fails so callers can still record the numbers.
+func fleetStudy(devices, workers, shards int, seed int64, reps int) (fleetArtifact, error) {
 	if reps <= 0 {
 		reps = defaultFleetReps
 	}
@@ -241,32 +266,43 @@ func fleetStudy(devices, workers int, seed int64, reps int) (fleetArtifact, erro
 		timing  fleetTiming
 		render  string
 		numbers fleetNumbers
+		// minAlloc is the smallest TotalAlloc delta across reps: GC
+		// timing only ever adds bytes to a sample, so the minimum is the
+		// honest per-run floor, same logic as the min wall time.
+		minAlloc float64
 	}
-	runAt := func(w int) (runOut, error) {
+	runAt := func(w, s int) (runOut, error) {
 		var out runOut
 		for rep := 0; rep < reps; rep++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
-			fr, err := experiments.FleetBenchStudy(devices, w, seed)
+			fr, err := experiments.FleetBenchStudy(devices, w, s, seed)
 			if err != nil {
 				return runOut{}, err
 			}
 			wall := time.Since(start)
-			for _, r := range fr.Results {
-				if r.Err != nil {
-					return runOut{}, fmt.Errorf("device %d: %w", r.Index, r.Err)
-				}
+			runtime.ReadMemStats(&after)
+			alloc := float64(after.TotalAlloc - before.TotalAlloc)
+			for _, f := range fr.Summary.Failures {
+				return runOut{}, fmt.Errorf("device %d: %s", f.Index, f.Err)
+			}
+			if fr.Summary.Failed > 0 {
+				return runOut{}, fmt.Errorf("%d devices failed", fr.Summary.Failed)
 			}
 			ms := float64(wall.Microseconds()) / 1000
 			if rep == 0 {
 				out = runOut{
-					timing: fleetTiming{Workers: fr.Workers, WallMS: ms},
+					timing: fleetTiming{Workers: fr.Workers, Shards: fr.Shards, WallMS: ms},
 					render: fr.Render(),
 					numbers: fleetNumbers{
 						TotalDrainedJ: fr.Summary.TotalDrainedJ,
+						TotalSimH:     fr.Summary.TotalSimH,
 						Attacks:       fr.Summary.Attacks,
 						DetectionRate: fr.Summary.DetectionRate(),
 						Failed:        fr.Summary.Failed,
 					},
+					minAlloc: alloc,
 				}
 				continue
 			}
@@ -276,32 +312,39 @@ func fleetStudy(devices, workers int, seed int64, reps int) (fleetArtifact, erro
 			if ms < out.timing.WallMS {
 				out.timing.WallMS = ms
 			}
+			if alloc < out.minAlloc {
+				out.minAlloc = alloc
+			}
 		}
 		return out, nil
 	}
 
-	serial, err := runAt(1)
+	serial, err := runAt(1, 1)
 	if err != nil {
 		return fleetArtifact{}, err
 	}
-	parallel, err := runAt(workers)
+	parallel, err := runAt(workers, shards)
 	if err != nil {
 		return fleetArtifact{}, err
 	}
 	fmt.Println(parallel.render)
 
 	art := fleetArtifact{
-		Devices:       devices,
-		Seed:          seed,
-		Cpus:          runtime.NumCPU(),
-		Runs:          []fleetTiming{serial.timing, parallel.timing},
-		Speedup:       serial.timing.WallMS / parallel.timing.WallMS,
-		Deterministic: serial.render == parallel.render,
-		Summary:       parallel.numbers,
+		Devices:              devices,
+		Seed:                 seed,
+		Cpus:                 runtime.NumCPU(),
+		Runs:                 []fleetTiming{serial.timing, parallel.timing},
+		Speedup:              serial.timing.WallMS / parallel.timing.WallMS,
+		Deterministic:        serial.render == parallel.render,
+		BytesPerDevice:       parallel.minAlloc / float64(devices),
+		DeviceSimHoursPerSec: parallel.numbers.TotalSimH / (parallel.timing.WallMS / 1000),
+		Summary:              parallel.numbers,
 	}
-	fmt.Printf("fleet: %d devices, workers %d vs 1: %.1fms vs %.1fms (%.2fx), deterministic=%v, cpus=%d\n",
-		devices, parallel.timing.Workers, parallel.timing.WallMS, serial.timing.WallMS,
+	fmt.Printf("fleet: %d devices, workers %d shards %d vs 1: %.1fms vs %.1fms (%.2fx), deterministic=%v, cpus=%d\n",
+		devices, parallel.timing.Workers, parallel.timing.Shards, parallel.timing.WallMS, serial.timing.WallMS,
 		art.Speedup, art.Deterministic, art.Cpus)
+	fmt.Printf("fleet: %.0f B/device allocated (streaming), %.1f device-sim-hours/sec\n",
+		art.BytesPerDevice, art.DeviceSimHoursPerSec)
 	if !art.Deterministic {
 		return art, fmt.Errorf("fleet aggregate differs between worker counts — determinism bug")
 	}
@@ -315,6 +358,91 @@ func fleetStudy(devices, workers int, seed int64, reps int) (fleetArtifact, erro
 			fleetSpeedupGate, parallel.timing.Workers, art.Cpus)
 	}
 	return art, nil
+}
+
+// fleetMemBudgetBytes is the peak-heap growth ceiling for a streaming
+// population fleet. The streaming accumulator's live set is O(workers +
+// pending window + index blocks), not O(devices), so the budget is a
+// constant independent of fleet size: a 100k-device run must fit the
+// same heap a 10k-device run does. Retaining 100k per-device Results
+// (ledger maps, violations, custom payloads) would blow this by an
+// order of magnitude — which is exactly the regression this gate is
+// for.
+const fleetMemBudgetBytes = 256 << 20
+
+// memSampleEvery is how many progress ticks separate ReadMemStats
+// samples during the memory study; ReadMemStats briefly stops the
+// world, so sampling every device would distort the run it measures.
+const memSampleEvery = 4096
+
+// fleetMemStudy runs an N-device population fleet (heterogeneous
+// cohorts from internal/fleet/population) down the streaming path and
+// checks the peak-heap budget. Unlike fleetStudy this is a pass/fail
+// probe, not an artifact writer: the gated bytes/device number lives in
+// BENCH_fleet.json via -fleet, while this study answers "does a fleet
+// two orders of magnitude larger still fit in constant memory?"
+func fleetMemStudy(devices, workers int, seed int64) error {
+	pop := population.Default()
+	spec, err := pop.FleetSpec(devices, workers, 0, seed)
+	if err != nil {
+		return err
+	}
+	var peak atomic.Uint64
+	var ticks atomic.Int64
+	spec.Progress = func(fleet.Progress) {
+		if ticks.Add(1)%memSampleEvery != 0 {
+			return
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			cur := peak.Load()
+			if ms.HeapAlloc <= cur || peak.CompareAndSwap(cur, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fr, err := fleet.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > peak.Load() {
+		peak.Store(after.HeapAlloc)
+	}
+
+	for _, f := range fr.Summary.Failures {
+		return fmt.Errorf("fleet-mem: device %d: %s", f.Index, f.Err)
+	}
+	if fr.Summary.Failed > 0 {
+		return fmt.Errorf("fleet-mem: %d devices failed", fr.Summary.Failed)
+	}
+	if fr.Results != nil {
+		return fmt.Errorf("fleet-mem: fleet retained per-device results — the study must stream")
+	}
+	peakGrowth := int64(peak.Load()) - int64(before.HeapAlloc)
+	if peakGrowth < 0 {
+		peakGrowth = 0
+	}
+	bytesPerDevice := float64(after.TotalAlloc-before.TotalAlloc) / float64(devices)
+	fmt.Printf("fleet-mem: %d devices (%d cohorts), workers %d shards %d: %.1fs wall, %.1f device-sim-hours/sec\n",
+		devices, len(pop.Cohorts), fr.Workers, fr.Shards, wall.Seconds(),
+		fr.Summary.TotalSimH/wall.Seconds())
+	fmt.Printf("fleet-mem: peak heap growth %.1f MiB (budget %.0f MiB), %.0f B/device allocated\n",
+		float64(peakGrowth)/(1<<20), float64(fleetMemBudgetBytes)/(1<<20), bytesPerDevice)
+	if peakGrowth > fleetMemBudgetBytes {
+		return fmt.Errorf("fleet-mem: peak heap grew %.1f MiB > %.0f MiB budget — streaming path is retaining state",
+			float64(peakGrowth)/(1<<20), float64(fleetMemBudgetBytes)/(1<<20))
+	}
+	fmt.Println("fleet-mem: memory budget pass")
+	return nil
 }
 
 // telemetryArtifact is the BENCH_telemetry.json schema: the measured
@@ -596,7 +724,7 @@ func readArtifact(path string, v any) error {
 // not the regeneration path.
 func benchCompare() error {
 	var regressions []string
-	compare := func(name string, fresh, committed float64) {
+	compareBy := func(name, unit string, fresh, committed float64) {
 		if committed <= 0 {
 			return
 		}
@@ -605,11 +733,14 @@ func benchCompare() error {
 		if pct > benchRegressionPct {
 			status = "REGRESSION"
 			regressions = append(regressions, fmt.Sprintf(
-				"%s: %.1fms vs committed %.1fms (%+.1f%% > +%.0f%%)",
-				name, fresh, committed, pct, benchRegressionPct))
+				"%s: %.1f%s vs committed %.1f%s (%+.1f%% > +%.0f%%)",
+				name, fresh, unit, committed, unit, pct, benchRegressionPct))
 		}
-		fmt.Printf("benchcmp: %-24s %9.1fms vs %9.1fms committed  %+6.1f%%  %s\n",
-			name, fresh, committed, pct, status)
+		fmt.Printf("benchcmp: %-24s %9.1f%s vs %9.1f%s committed  %+6.1f%%  %s\n",
+			name, fresh, unit, committed, unit, pct, status)
+	}
+	compare := func(name string, fresh, committed float64) {
+		compareBy(name, "ms", fresh, committed)
 	}
 
 	var oldFleet fleetArtifact
@@ -619,7 +750,8 @@ func benchCompare() error {
 	if len(oldFleet.Runs) == 0 {
 		return fmt.Errorf("benchcmp: BENCH_fleet.json has no runs")
 	}
-	newFleet, err := fleetStudy(oldFleet.Devices, oldFleet.Runs[len(oldFleet.Runs)-1].Workers, oldFleet.Seed, defaultFleetReps)
+	lastRun := oldFleet.Runs[len(oldFleet.Runs)-1]
+	newFleet, err := fleetStudy(oldFleet.Devices, lastRun.Workers, lastRun.Shards, oldFleet.Seed, defaultFleetReps)
 	if err != nil {
 		return err
 	}
@@ -630,6 +762,10 @@ func benchCompare() error {
 			}
 		}
 	}
+	// The memory budget is a first-class gate: streaming keeps the
+	// per-device allocation churn flat, and a >15% creep here is a
+	// regression even when the wall clock still passes.
+	compareBy("fleet/bytes_per_device", "B", newFleet.BytesPerDevice, oldFleet.BytesPerDevice)
 
 	var oldTelem telemetryArtifact
 	if err := readArtifact("BENCH_telemetry.json", &oldTelem); err != nil {

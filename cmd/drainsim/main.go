@@ -8,6 +8,12 @@
 //	drainsim -step 10s       # finer integration step
 //	drainsim -csv            # full per-percent series as CSV
 //	drainsim -workers 5      # sweep the five configurations in parallel
+//
+// The parallel sweep runs on the fleet runner's streaming path: each
+// configuration's drain curve lands in a worker-owned slice slot and
+// the fleet folds everything else away as devices finish, so no
+// per-device Result set is retained.
+//
 //	drainsim -trace-out t.json -metrics-out m.txt   # telemetry (serial only)
 //	drainsim -serve 127.0.0.1:8080   # live metrics/pprof (serial only), Ctrl-C to stop
 package main

@@ -12,9 +12,11 @@
 //	eandroid-sim -exp fig9a -flame-out flame.txt -flame-html flame.html
 //	eandroid-sim -exp all -serve 127.0.0.1:8080         # live metrics/flame/pprof, Ctrl-C to stop
 //	eandroid-sim -exp fig9a -log                        # structured logs on stderr
+//	eandroid-sim -fleet 10000 -workers 8 -shards 8      # streaming population fleet, merged summary only
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -23,6 +25,8 @@ import (
 	"repro/internal/check"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/fleet/population"
 	"repro/internal/obsv"
 	"repro/internal/scenario"
 	"repro/internal/serveutil"
@@ -54,8 +58,20 @@ func run(args []string) error {
 	serveJobs := fs.Bool("serve-jobs", false, "with -serve: mount the simulation-as-a-service control plane at /jobs")
 	logFlag := fs.Bool("log", false, "emit structured logs (deterministic text format) on stderr")
 	checks := fs.Bool("check", true, "run the runtime invariant checker; any violation fails the run")
+	fleetN := fs.Int("fleet", 0, "run an N-device streaming population fleet (heterogeneous cohorts) and print the merged summary")
+	fleetWorkers := fs.Int("workers", 0, "with -fleet: worker count (0 = GOMAXPROCS)")
+	fleetShards := fs.Int("shards", 0, "with -fleet: accumulator shard count (0 = workers)")
+	fleetSeed := fs.Int64("seed", 42, "with -fleet: fleet seed (per-device seeds derive from it)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The fleet mode bypasses the world funnel entirely: the fleet
+	// runner builds its own per-device configs and streams results into
+	// the bounded accumulator, so a 100k-device run fits in constant
+	// memory no matter what the other flags would retain.
+	if *fleetN > 0 {
+		return runPopulationFleet(*fleetN, *fleetWorkers, *fleetShards, *fleetSeed)
 	}
 
 	// Telemetry attaches to every serially-built experiment world; the
@@ -130,6 +146,26 @@ func run(args []string) error {
 		}
 	}
 	return plane.Finish(err, serveStop)
+}
+
+// runPopulationFleet runs the default cohort mixture down the fleet's
+// streaming path and prints the merged summary (plus the failure sample
+// when devices failed). No per-device results are retained.
+func runPopulationFleet(devices, workers, shards int, seed int64) error {
+	pop := population.Default()
+	spec, err := pop.FleetSpec(devices, workers, shards, seed)
+	if err != nil {
+		return err
+	}
+	fr, err := fleet.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fr.Render())
+	if fr.Summary.Failed > 0 {
+		return fmt.Errorf("%d of %d devices failed", fr.Summary.Failed, fr.Summary.Devices)
+	}
+	return nil
 }
 
 // runExperiments is the pre-obsv body of the command: list, run one or

@@ -52,10 +52,11 @@ func TestSameSeedByteIdentical(t *testing.T) {
 func fleetViews(t *testing.T, workers int) string {
 	t.Helper()
 	fr, err := eandroid.RunFleet(context.Background(), eandroid.FleetSpec{
-		Devices: 2,
-		Workers: workers,
-		Seed:    99,
-		Config:  eandroid.Config{EAndroid: true},
+		Devices:       2,
+		Workers:       workers,
+		Seed:          99,
+		RetainResults: true, // the view concatenation reads Result.Custom
+		Config:        eandroid.Config{EAndroid: true},
 		Scenario: func(i int, dev *eandroid.Device) error {
 			mal, err := dev.Packages.Install(
 				eandroid.NewManifest("com.det.mal", "Mal").Activity("Main", true).MustBuild())

@@ -175,18 +175,28 @@ const NexusBatteryJ = hw.NexusBatteryJ
 
 // Fleet API: run many independent devices concurrently (one
 // single-threaded engine per goroutine) with per-device seeds derived
-// from a fleet seed and order-stable aggregation.
+// from a fleet seed and order-stable aggregation. Execution streams:
+// finished devices fold into a bounded sharded accumulator and are
+// dropped, so fleet memory is O(workers + window), not O(devices).
+// Set FleetSpec.RetainResults to keep the per-device slice, or
+// FleetSpec.Stream to consume each result exactly once as it finishes.
 type (
-	// FleetSpec describes a fleet run: device count, worker bound,
-	// fleet seed, config template, scenario func and horizon.
+	// FleetSpec describes a fleet run: device count, worker and shard
+	// bounds, fleet seed, config template, scenario func and horizon.
 	FleetSpec = fleet.Spec
-	// FleetResult is a completed fleet run: per-device results sorted
-	// by index plus the merged summary.
+	// FleetResult is a completed fleet run: the merged summary, plus
+	// per-device results sorted by index when RetainResults was set.
 	FleetResult = fleet.FleetResult
 	// FleetDeviceResult is the harvest of one device in the fleet.
 	FleetDeviceResult = fleet.Result
 	// FleetSummary is the fleet-level merge of all device results.
 	FleetSummary = fleet.Summary
+	// FleetProgress is one live per-device completion tick (fed to
+	// FleetSpec.Progress from worker goroutines).
+	FleetProgress = fleet.Progress
+	// FleetFailure is one sampled device failure in a streaming
+	// summary (FleetSummary.Failures keeps the first few).
+	FleetFailure = fleet.Failure
 )
 
 // RunFleet executes spec's devices on a bounded worker pool. Per-device

@@ -130,10 +130,16 @@ type Result struct {
 
 // runOutcome is one device's harvest, written by the fleet worker that
 // owns the device index (disjoint-index writes, no locking needed).
+// violations and drainedJ arrive via the fleet's Stream sink — the
+// replay runs the streaming path, so per-device Results are folded and
+// dropped instead of retained; this small fixed-size record is all the
+// statistics need.
 type runOutcome struct {
-	detected bool
-	findings int
-	stats    obsv.WindowStats
+	detected   bool
+	findings   int
+	stats      obsv.WindowStats
+	violations int
+	drainedJ   float64
 }
 
 // Run replays the corpus. Per-device failures abort the replay: a
@@ -174,6 +180,16 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		},
 		Telemetry: &telemetry.Options{},
 		Progress:  opts.Progress,
+		// The Stream sink runs on the worker goroutine right after the
+		// device finishes; outcome writes stay disjoint-index, and the
+		// per-cell reductions below iterate outcomes in rep order — the
+		// exact float-sum order the retained path used, so the committed
+		// BENCH_corpus.json statistics stay byte-identical.
+		Stream: func(r fleet.Result) {
+			o := &outcomes[r.Index]
+			o.violations = len(r.Violations)
+			o.drainedJ = r.DrainedJ
+		},
 		Scenario: func(i int, dev *device.Device) error {
 			cellIdx, rep := i/reps, i%reps
 			w, err := scenario.Populate(dev)
@@ -207,11 +223,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := range fr.Results {
-		if rerr := fr.Results[i].Err; rerr != nil {
-			cellIdx, rep := i/reps, i%reps
-			return nil, fmt.Errorf("replay: cell %s rep %d: %w", cells[cellIdx], rep, rerr)
-		}
+	for _, f := range fr.Summary.Failures {
+		cellIdx, rep := f.Index/reps, f.Index%reps
+		return nil, fmt.Errorf("replay: cell %s rep %d: %s", cells[cellIdx], rep, f.Err)
 	}
 
 	res := &Result{
@@ -237,8 +251,8 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			cr.FindingsTotal += o.findings
 			cr.JudgedWindows += o.stats.Judged
 			cr.FlaggedWindows += o.stats.Flagged
-			cr.Violations += len(fr.Results[i].Violations)
-			cr.MeanDrainedJ += fr.Results[i].DrainedJ
+			cr.Violations += o.violations
+			cr.MeanDrainedJ += o.drainedJ
 		}
 		cr.MeanDrainedJ /= float64(reps)
 		cr.Detection = corpus.Wilson(cr.DetectedRuns, reps, corpus.Z95)

@@ -34,10 +34,11 @@ func checkedCfg(cfg device.Config) device.Config {
 // of `devices` devices using `workers` workers (0 = GOMAXPROCS).
 func FleetStealthStudy(devices, workers int, seed int64) (*fleet.FleetResult, error) {
 	return fleet.Run(context.Background(), fleet.Spec{
-		Devices: devices,
-		Workers: workers,
-		Seed:    seed,
-		Config:  checkedCfg(worldCfg(accounting.BatteryStats)),
+		Devices:       devices,
+		Workers:       workers,
+		Seed:          seed,
+		RetainResults: true, // ExtFleet renders per-device lines
+		Config:        checkedCfg(worldCfg(accounting.BatteryStats)),
 		Scenario: func(i int, dev *device.Device) error {
 			w, err := scenario.Populate(dev)
 			if err != nil {
@@ -55,11 +56,15 @@ func FleetStealthStudy(devices, workers int, seed int64) (*fleet.FleetResult, er
 // attack plus a power-signature detector sampling every virtual second
 // over a long window, so each device carries enough event load
 // (~thousands of fired events) for worker-pool speedup to be
-// measurable. Used by `benchsuite -fleet` and BenchmarkFleet*.
-func FleetBenchStudy(devices, workers int, seed int64) (*fleet.FleetResult, error) {
+// measurable. Used by `benchsuite -fleet` and BenchmarkFleet*. It runs
+// the streaming path (no per-device retention) with `shards`
+// accumulator shards (0 = workers), so its bytes/device measurement is
+// the memory budget BENCH_fleet.json commits to.
+func FleetBenchStudy(devices, workers, shards int, seed int64) (*fleet.FleetResult, error) {
 	return fleet.Run(context.Background(), fleet.Spec{
 		Devices: devices,
 		Workers: workers,
+		Shards:  shards,
 		Seed:    seed,
 		Config:  checkedCfg(worldCfg(accounting.BatteryStats)),
 		Scenario: func(i int, dev *device.Device) error {
@@ -118,10 +123,11 @@ func FleetDrainStudy(replicas, workers int, seed int64, window time.Duration) (*
 	}
 	configs := DrainConfigs()
 	fr, err := fleet.Run(context.Background(), fleet.Spec{
-		Devices: replicas * len(configs),
-		Workers: workers,
-		Seed:    seed,
-		Config:  checkedCfg(device.Config{Policy: accounting.BatteryStats}),
+		Devices:       replicas * len(configs),
+		Workers:       workers,
+		Seed:          seed,
+		RetainResults: true, // per-config means index into Results below
+		Config:        checkedCfg(device.Config{Policy: accounting.BatteryStats}),
 		Scenario: func(i int, dev *device.Device) error {
 			w, err := scenario.Populate(dev)
 			if err != nil {
@@ -177,10 +183,10 @@ func Fig3WithStepWorkers(step time.Duration, workers int) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range fr.Results {
-		if r.Err != nil {
-			return nil, fmt.Errorf("experiments: drain %s: %w", configs[r.Index], r.Err)
-		}
+	// Streaming run: failures surface through the summary's sample, not
+	// a retained result slice.
+	for _, f := range fr.Summary.Failures {
+		return nil, fmt.Errorf("experiments: drain %s: %s", configs[f.Index], f.Err)
 	}
 	return &Fig3Result{Curves: curves}, nil
 }

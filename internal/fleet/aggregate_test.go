@@ -81,3 +81,63 @@ func TestRenderOmitsCheckLinesWhenClean(t *testing.T) {
 		t.Fatalf("clean fleet render mentions checks:\n%s", out)
 	}
 }
+
+// Regression for the eager-map bug: summarize used to allocate all
+// five merge maps even when no device contributed to them. The
+// accumulator now allocates lazily, and the render must stay
+// byte-identical (length-guarded sections treat nil and empty alike).
+func TestSummaryMapsAllocatedLazily(t *testing.T) {
+	rs := []Result{
+		{Index: 0, Err: errForTest("down")},
+		{Index: 1, Err: errForTest("down")},
+	}
+	s := summarize(rs)
+	if s.EnergyByUID != nil || s.CollateralByUID != nil || s.AttacksByVector != nil ||
+		s.Labels != nil || s.ViolationsByInvariant != nil {
+		t.Fatalf("all-failed summary allocated merge maps: %+v", s)
+	}
+	if s.Failed != 2 || len(s.Failures) != 2 {
+		t.Fatalf("failed = %d, failures = %d, want 2/2", s.Failed, len(s.Failures))
+	}
+
+	// Monitor-off devices contribute ledgers and labels but no attack
+	// or collateral maps.
+	rs = []Result{{Index: 0, DrainedJ: 3,
+		EnergyByUID: map[app.UID]float64{10: 3},
+		Labels:      map[app.UID]string{10: "App"}}}
+	s = summarize(rs)
+	if s.EnergyByUID == nil || s.Labels == nil {
+		t.Fatal("contributing maps not built")
+	}
+	if s.CollateralByUID != nil || s.AttacksByVector != nil || s.ViolationsByInvariant != nil {
+		t.Fatal("monitor-off summary allocated monitor maps")
+	}
+	out := s.Render(0)
+	if !strings.Contains(out, "energy by app") || strings.Contains(out, "collateral") {
+		t.Fatalf("lazy summary render wrong:\n%s", out)
+	}
+}
+
+// Streaming renders list the sampled failures in place of the dropped
+// per-device lines.
+func TestRenderFailuresSampleWithoutResults(t *testing.T) {
+	rs := make([]Result, 12)
+	for i := range rs {
+		rs[i] = Result{Index: i, Seed: int64(i), Err: errForTest("boom")}
+	}
+	fr := &FleetResult{Summary: summarize(rs)} // Results nil: streaming run
+	out := fr.Render()
+	if !strings.Contains(out, "failures (first 8 of 12):") {
+		t.Fatalf("streaming render missing failure sample header:\n%s", out)
+	}
+	if strings.Contains(out, "devices:") {
+		t.Fatalf("streaming render printed a devices section:\n%s", out)
+	}
+	if got := strings.Count(out, "FAILED: boom"); got != 8 {
+		t.Fatalf("failure lines = %d, want maxFailures (8)", got)
+	}
+}
+
+type errForTest string
+
+func (e errForTest) Error() string { return string(e) }

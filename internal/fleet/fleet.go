@@ -7,9 +7,15 @@
 // indices from a queue, builds each device from the shared Config
 // template with a per-device seed derived from the fleet seed via
 // splitmix64, runs its scenario plus horizon, and harvests a Result.
-// Aggregation is order-stable: results are sorted by device index and
-// all merged summaries iterate in sorted key order, so the fleet's
-// aggregate output is byte-identical for any worker count.
+//
+// Execution is streaming and memory-bounded by default: finished
+// devices fold into a sharded accumulator (see accum.go) and are
+// dropped, with a dispatch-permit window bounding how many results can
+// be in flight or parked at once. Per-device retention is opt-in via
+// Spec.RetainResults, and Spec.Stream hands every Result to a caller-
+// owned sink exactly once. Aggregation is order-stable — the fold tree
+// is fixed by the fleet size — so the merged summary and metrics are
+// byte-identical for any shards × workers combination.
 package fleet
 
 import (
@@ -18,7 +24,6 @@ import (
 	"log/slog"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,16 +43,49 @@ type Spec struct {
 	Devices int
 	// Workers bounds concurrency; zero or negative means GOMAXPROCS.
 	Workers int
+	// Shards partitions the accumulator's fold blocks across
+	// independent mutexes (block b belongs to shard b % Shards). Shards
+	// tune lock contention only: the fold tree is fixed by the fleet
+	// size, so the merged summary is byte-identical for every
+	// shards × workers combination. Zero means Workers; values above
+	// the block count are clamped.
+	Shards int
 	// Seed is the fleet seed. Device i runs with DeviceSeed(Seed, i),
 	// so the whole fleet is reproducible from one number.
 	Seed int64
 	// Config is the device template. Its Seed field is overridden per
 	// device; everything else is shared.
 	Config device.Config
+	// Configure, when non-nil, customizes device i's config after the
+	// template copy and per-device seed assignment but before device
+	// construction — the population layer's hardware-cohort hook. It
+	// runs on worker goroutines and must be pure: the same i must
+	// always produce the same mutation. The per-device Seed it sees is
+	// the fleet's derivation and cannot be overridden.
+	Configure func(i int, cfg *device.Config)
 	// Scenario scripts device i. It may drive the device's virtual
 	// clock itself (dev.Run) or rely on Horizon; a nil Scenario runs an
 	// idle device. It must not retain dev past its return.
 	Scenario func(i int, dev *device.Device) error
+	// RetainResults keeps every per-device Result in
+	// FleetResult.Results (the pre-streaming behaviour). Off by
+	// default: a streaming fleet folds each finished device into the
+	// bounded accumulator and drops it, so memory stays O(MaxPending)
+	// instead of O(Devices).
+	RetainResults bool
+	// Stream, when non-nil, receives every finished Result exactly
+	// once, from the worker goroutine that ran it (or the dispatcher,
+	// for devices cancelled before dispatch). Delivery order is
+	// scheduling-dependent — consumers needing order can index by
+	// Result.Index. The Result must not be mutated: the accumulator
+	// reads it after Stream returns.
+	Stream func(Result)
+	// MaxPending bounds how many dispatched devices may be unfolded
+	// (in flight or parked out-of-order) at once — the streaming
+	// path's memory high-water mark. Zero means max(4×Workers, 8);
+	// values below Workers are raised to Workers so the pool never
+	// starves.
+	MaxPending int
 	// Horizon is additional virtual time to run after Scenario returns.
 	Horizon time.Duration
 	// Collect, when non-nil, extracts a scenario-specific payload from
@@ -74,8 +112,10 @@ type Spec struct {
 // Progress is one device-completion tick of a fleet run: the live feed
 // behind the obsv server's /fleet endpoint.
 type Progress struct {
-	// Index is the finished device's position in the fleet.
+	// Index is the finished device's position in the fleet; Shard is
+	// the accumulator shard its fold block belongs to.
 	Index int `json:"index"`
+	Shard int `json:"shard"`
 	// Done is how many devices have finished so far (including this
 	// one); Total is the fleet size.
 	Done  int `json:"done"`
@@ -139,11 +179,18 @@ type Result struct {
 	Metrics *telemetry.Snapshot
 }
 
-// FleetResult is a completed fleet run: per-device results sorted by
-// index, plus the merged summary.
+// FleetResult is a completed fleet run: the merged summary, plus —
+// only when Spec.RetainResults was set — the per-device results in
+// index order.
 type FleetResult struct {
 	Seed    int64
 	Workers int
+	// Shards is the effective accumulator shard count the run used
+	// (after clamping to the fold-block count).
+	Shards int
+	// Results holds every per-device result in index order; nil unless
+	// Spec.RetainResults. Streaming runs consume results via
+	// Spec.Stream and keep only the Summary.
 	Results []Result
 	Summary Summary
 	// Metrics merges the per-device telemetry snapshots in device-index
@@ -218,7 +265,8 @@ func DeviceSeed(fleetSeed int64, i int) int64 {
 // the rest of the fleet; Run itself returns an error only for an
 // invalid spec. Cancelling ctx stops dispatching new devices and halts
 // in-flight horizon runs at their next check; affected devices report
-// ctx's error.
+// ctx's error and still emit their Progress/Logger/Stream ticks, so a
+// live feed always reaches Done == Total.
 func Run(ctx context.Context, spec Spec) (*FleetResult, error) {
 	if spec.Devices < 1 {
 		return nil, fmt.Errorf("fleet: need at least 1 device, got %d", spec.Devices)
@@ -236,8 +284,22 @@ func Run(ctx context.Context, spec Spec) (*FleetResult, error) {
 	if workers > spec.Devices {
 		workers = spec.Devices
 	}
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = workers
+	}
+	window := spec.MaxPending
+	if window <= 0 {
+		window = 4 * workers
+		if window < 8 {
+			window = 8
+		}
+	}
+	if window < workers {
+		window = workers
+	}
 
-	results := make([]Result, spec.Devices)
+	f := newFolder(&spec, shards, window)
 	stats := make([]WorkerStat, workers)
 	var done atomic.Int64
 	poolStart := time.Now()
@@ -256,22 +318,31 @@ func Run(ctx context.Context, spec Spec) (*FleetResult, error) {
 			pool := sim.NewEventPool()
 			for i := range jobs {
 				start := time.Now()
-				results[i] = runDevice(ctx, spec, i, pool)
+				res := runDevice(ctx, spec, i, pool)
 				stats[w].Busy += time.Since(start)
 				stats[w].Devices++
-				notifyProgress(&spec, &results[i], int(done.Add(1)))
+				if spec.Stream != nil {
+					spec.Stream(res)
+				}
+				f.complete(i, res, true)
+				notifyProgress(&spec, &res, int(done.Add(1)), f.shards)
 			}
 		}(w)
 	}
 dispatch:
 	for i := 0; i < spec.Devices; i++ {
+		// Acquire a dispatch permit first: it is released only when the
+		// device's result folds, so the permit count bounds finished-
+		// but-unfolded results — the streaming memory high-water mark.
+		if !f.acquire(ctx.Done()) {
+			cancelTail(&spec, f, &done, i, ctx.Err())
+			break dispatch
+		}
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
-			// Mark everything not yet dispatched as cancelled.
-			for j := i; j < spec.Devices; j++ {
-				results[j] = Result{Index: j, Seed: DeviceSeed(spec.Seed, j), Err: ctx.Err()}
-			}
+			f.unacquire() // device i was never handed to a worker
+			cancelTail(&spec, f, &done, i, ctx.Err())
 			break dispatch
 		}
 	}
@@ -283,38 +354,46 @@ dispatch:
 		}
 	}
 
-	// Workers write only their own index, so the slice is already
-	// index-ordered; the sort documents (and enforces) the contract.
-	sort.Slice(results, func(a, b int) bool { return results[a].Index < results[b].Index })
-	fr := &FleetResult{
+	summary, metrics, err := f.finalize()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: merge metrics: %w", err)
+	}
+	return &FleetResult{
 		Seed:        spec.Seed,
 		Workers:     workers,
-		Results:     results,
-		Summary:     summarize(results),
+		Shards:      f.shards,
+		Results:     f.results, // nil unless spec.RetainResults
+		Summary:     summary,
+		Metrics:     metrics,
 		WorkerStats: stats,
-	}
-	if spec.Telemetry != nil {
-		snaps := make([]*telemetry.Snapshot, len(results))
-		for i, r := range results {
-			snaps[i] = r.Metrics // nil (skipped) for failed devices
+	}, nil
+}
+
+// cancelTail marks devices [from, Devices) — never dispatched — as
+// cancelled, feeding each through the same Stream/fold/Progress path a
+// finished device takes. Emitting the ticks here is what lets SSE and
+// jobs consumers observe the terminal Done == Total state after a
+// cancellation instead of hanging at the last dispatched device.
+func cancelTail(spec *Spec, f *folder, done *atomic.Int64, from int, cause error) {
+	for j := from; j < spec.Devices; j++ {
+		res := Result{Index: j, Seed: DeviceSeed(spec.Seed, j), Err: cause}
+		if spec.Stream != nil {
+			spec.Stream(res)
 		}
-		merged, err := telemetry.MergeSnapshots(snaps)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: merge metrics: %w", err)
-		}
-		fr.Metrics = merged
+		f.complete(j, res, false)
+		notifyProgress(spec, &res, int(done.Add(1)), f.shards)
 	}
-	return fr, nil
 }
 
 // notifyProgress feeds one finished device into the Progress hook and
 // the fleet logger. done is the completion count including this device.
-func notifyProgress(spec *Spec, res *Result, done int) {
+func notifyProgress(spec *Spec, res *Result, done, shards int) {
 	if spec.Progress == nil && spec.Logger == nil {
 		return
 	}
 	p := Progress{
 		Index:      res.Index,
+		Shard:      (res.Index / blockSize) % shards,
 		Done:       done,
 		Total:      spec.Devices,
 		BatteryPct: res.BatteryPct,
@@ -360,6 +439,10 @@ func runDevice(ctx context.Context, spec Spec, i int, pool *sim.EventPool) (res 
 
 	cfg := spec.Config
 	cfg.Seed = res.Seed
+	if spec.Configure != nil {
+		spec.Configure(i, &cfg)
+		cfg.Seed = res.Seed // seed derivation is the fleet's, not the hook's
+	}
 	cfg.Events = pool
 	if spec.Telemetry != nil {
 		// One recorder per device: recorders are single-goroutine, and

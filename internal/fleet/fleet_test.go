@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,13 +19,15 @@ import (
 
 // attackSpec is the canonical test fleet: every device installs the
 // demo cast and mounts the service-pin attack, so the monitor has real
-// collateral energy and attacks to aggregate.
+// collateral energy and attacks to aggregate. Tests that read
+// fr.Results rely on the RetainResults here; streaming tests clear it.
 func attackSpec(devices, workers int, seed int64) Spec {
 	return Spec{
-		Devices: devices,
-		Workers: workers,
-		Seed:    seed,
-		Config:  device.Config{EAndroid: true},
+		Devices:       devices,
+		Workers:       workers,
+		Seed:          seed,
+		RetainResults: true,
+		Config:        device.Config{EAndroid: true},
 		Scenario: func(i int, dev *device.Device) error {
 			w, err := scenario.Populate(dev)
 			if err != nil {
@@ -105,24 +109,224 @@ func TestDeviceSeedsDifferAndAreStable(t *testing.T) {
 }
 
 // The acceptance gate: the rendered aggregate must be byte-identical
-// for any worker count, because per-device seeds depend only on the
-// fleet seed and aggregation is order-stable.
+// for any worker × shard combination, because per-device seeds depend
+// only on the fleet seed and the accumulator's fold tree is fixed by
+// the fleet size.
 func TestAggregateByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	var golden string
 	for _, workers := range []int{1, 4, 8} {
-		fr, err := Run(context.Background(), attackSpec(9, workers, 1234))
-		if err != nil {
-			t.Fatal(err)
+		for _, shards := range []int{1, 8} {
+			spec := attackSpec(9, workers, 1234)
+			spec.Shards = shards
+			fr, err := Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fr.Render()
+			if golden == "" {
+				golden = got
+				continue
+			}
+			if got != golden {
+				t.Fatalf("aggregate differs at workers=%d shards=%d:\n--- golden ---\n%s\n--- got ---\n%s",
+					workers, shards, golden, got)
+			}
 		}
-		got := fr.Render()
-		if golden == "" {
-			golden = got
-			continue
+	}
+}
+
+// The streaming acceptance gate: with retention off, every
+// shards × workers combination must produce a summary render
+// byte-identical to the retained-results path on the same seed, and
+// the Stream sink must see every device exactly once.
+func TestStreamingMatchesRetainedAcrossShardCounts(t *testing.T) {
+	retained, err := Run(context.Background(), attackSpec(9, 1, 1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := retained.Summary.Render(retained.Seed)
+	for _, workers := range []int{1, 8} {
+		for _, shards := range []int{1, 8} {
+			spec := attackSpec(9, workers, 1234)
+			spec.RetainResults = false
+			var streamed atomic.Int64
+			spec.Stream = func(r Result) {
+				if r.Err == nil && r.DrainedJ > 0 {
+					streamed.Add(1)
+				}
+			}
+			spec.Shards = shards
+			fr, err := Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Results != nil {
+				t.Fatal("streaming run retained results")
+			}
+			if got := fr.Summary.Render(fr.Seed); got != golden {
+				t.Fatalf("streaming summary differs at workers=%d shards=%d:\n--- golden ---\n%s\n--- got ---\n%s",
+					workers, shards, golden, got)
+			}
+			if n := streamed.Load(); n != 9 {
+				t.Fatalf("stream sink saw %d successful devices, want 9", n)
+			}
+			// The full streaming render is the summary plus the sampled
+			// failure list — for a clean run, exactly the shared prefix of
+			// the retained render.
+			if !strings.HasPrefix(retained.Render(), fr.Render()) {
+				t.Fatalf("streaming render is not a prefix of the retained render:\n%s", fr.Render())
+			}
 		}
-		if got != golden {
-			t.Fatalf("aggregate differs between workers=1 and workers=%d:\n--- golden ---\n%s\n--- got ---\n%s",
-				workers, golden, got)
+	}
+}
+
+// Multi-block determinism: a fleet wider than one fold block (1024
+// devices) must still merge byte-identically across shard and worker
+// counts, with out-of-order completions parking in the pending maps.
+// Runs under -race in CI, which is what makes the concurrent shard
+// folding + Stream sink combination a satellite acceptance test.
+func TestStreamingMultiBlockByteIdentical(t *testing.T) {
+	const devices = blockSize + 137
+	build := func(workers, shards int) Spec {
+		return Spec{
+			Devices: devices,
+			Workers: workers,
+			Shards:  shards,
+			Seed:    99,
+			Scenario: func(i int, dev *device.Device) error {
+				w, err := scenario.Populate(dev)
+				if err != nil {
+					return err
+				}
+				if i%3 == 0 {
+					return w.ForceScreenOn()
+				}
+				return nil
+			},
+			Horizon: 2 * time.Second,
 		}
+	}
+	var golden string
+	var outOfOrder atomic.Int64
+	for _, workers := range []int{1, 8} {
+		for _, shards := range []int{1, 8} {
+			spec := build(workers, shards)
+			var last atomic.Int64
+			last.Store(-1)
+			spec.Stream = func(r Result) {
+				// Record scheduling-dependent out-of-order delivery: the
+				// whole point of the fold tree is that it cannot leak into
+				// the summary.
+				if prev := last.Swap(int64(r.Index)); int64(r.Index) < prev {
+					outOfOrder.Add(1)
+				}
+			}
+			fr, err := Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Summary.Devices != devices || fr.Summary.Failed != 0 {
+				t.Fatalf("outcome %d/%d", fr.Summary.Devices-fr.Summary.Failed, fr.Summary.Devices)
+			}
+			if fr.Summary.TotalSimH <= 0 {
+				t.Fatal("TotalSimH not accumulated")
+			}
+			got := fr.Summary.Render(fr.Seed)
+			if golden == "" {
+				golden = got
+				continue
+			}
+			if got != golden {
+				t.Fatalf("multi-block summary differs at workers=%d shards=%d", workers, shards)
+			}
+		}
+	}
+	// Delivery order is scheduling-dependent, so the count is not
+	// asserted — the gate is that it cannot leak into the summary.
+	t.Logf("out-of-order stream deliveries observed: %d", outOfOrder.Load())
+}
+
+// Regression for the cancellation feed bug: cancelled and undispatched
+// devices must still emit Progress ticks, so a live consumer (obsv
+// /fleet SSE, jobs status) observes the terminal Done == Total state.
+func TestCancellationProgressReachesTotal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ticks, maxDone atomic.Int64
+	spec := Spec{
+		Devices: 64,
+		Workers: 2,
+		Seed:    3,
+		Scenario: func(i int, dev *device.Device) error {
+			if i == 0 {
+				cancel()
+			}
+			return nil
+		},
+		Horizon: time.Hour,
+		Progress: func(p Progress) {
+			ticks.Add(1)
+			for {
+				cur := maxDone.Load()
+				if int64(p.Done) <= cur || maxDone.CompareAndSwap(cur, int64(p.Done)) {
+					break
+				}
+			}
+		},
+	}
+	fr, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ticks.Load(); got != 64 {
+		t.Fatalf("progress ticks = %d, want one per device (64)", got)
+	}
+	if got := maxDone.Load(); got != 64 {
+		t.Fatalf("max Done = %d, want Total (64): cancelled devices missing from the feed", got)
+	}
+	if fr.Summary.Devices != 64 {
+		t.Fatalf("summary devices = %d, want 64", fr.Summary.Devices)
+	}
+	if fr.Summary.Failed == 0 || len(fr.Summary.Failures) == 0 {
+		t.Fatal("cancellation produced no sampled failures")
+	}
+}
+
+// The dispatch-permit window must bound how many devices can be
+// dispatched while nothing folds: with the block head stalled, at most
+// MaxPending devices may start.
+func TestMaxPendingBoundsDispatch(t *testing.T) {
+	const window = 6
+	release := make(chan struct{})
+	var started, finished, startedBeforeRelease atomic.Int64
+	var once sync.Once
+	spec := Spec{
+		Devices:    32,
+		Workers:    2,
+		Seed:       7,
+		MaxPending: window,
+		Scenario: func(i int, dev *device.Device) error {
+			started.Add(1)
+			if i == 0 {
+				<-release // stall the block head: nothing can fold
+				return nil
+			}
+			if finished.Add(1) == 4 {
+				once.Do(func() {
+					startedBeforeRelease.Store(started.Load())
+					close(release)
+				})
+			}
+			return nil
+		},
+	}
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := startedBeforeRelease.Load(); got > window {
+		t.Fatalf("%d devices started while the fold was stalled, want <= MaxPending (%d)", got, window)
+	}
+	if got := started.Load(); got != 32 {
+		t.Fatalf("started = %d, want 32", got)
 	}
 }
 
@@ -182,9 +386,10 @@ func TestContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	started := make(chan struct{}, 64)
 	spec := Spec{
-		Devices: 64,
-		Workers: 2,
-		Seed:    3,
+		Devices:       64,
+		Workers:       2,
+		Seed:          3,
+		RetainResults: true,
 		Scenario: func(i int, dev *device.Device) error {
 			started <- struct{}{}
 			if i == 0 {
@@ -229,7 +434,7 @@ func TestCollectPayload(t *testing.T) {
 }
 
 func TestNilScenarioIdleFleet(t *testing.T) {
-	fr, err := Run(context.Background(), Spec{Devices: 2, Seed: 1, Horizon: time.Second})
+	fr, err := Run(context.Background(), Spec{Devices: 2, Seed: 1, Horizon: time.Second, RetainResults: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/obsv"
@@ -36,8 +37,10 @@ func Register(mux *http.ServeMux, m *Manager) {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			// Explicit backpressure: the queue is bounded, the client
-			// retries, the server never buffers unbounded work.
-			w.Header().Set("Retry-After", "1")
+			// retries, the server never buffers unbounded work. The
+			// hint is computed from queue depth × the rolling mean job
+			// wall time, not a hardcoded constant.
+			w.Header().Set("Retry-After", strconv.Itoa(m.RetryAfter()))
 			httpError(w, http.StatusTooManyRequests, err.Error())
 			return
 		case errors.Is(err, ErrClosed):

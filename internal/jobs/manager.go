@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/obsv"
 	"repro/internal/telemetry"
@@ -174,7 +175,15 @@ type Manager struct {
 	canceled  int64
 	rejected  int64
 	running   int
+
+	// wallHist is a ring of the most recent executed jobs' wall times;
+	// RetryAfter turns its rolling mean into an honest 429 hint.
+	wallHist [wallHistLen]time.Duration
+	wallN    int // total recorded; min(wallN, wallHistLen) are valid
 }
+
+// wallHistLen bounds the wall-time history ring.
+const wallHistLen = 32
 
 // NewManager starts a manager with opts.Runners worker goroutines.
 func NewManager(opts Options) *Manager {
@@ -283,6 +292,63 @@ func (m *Manager) Cancel(id string) bool {
 	}
 	j.cancel()
 	return true
+}
+
+// noteWall records one executed job's wall-clock time in the rolling
+// history.
+func (m *Manager) noteWall(d time.Duration) {
+	m.mu.Lock()
+	m.wallHist[m.wallN%wallHistLen] = d
+	m.wallN++
+	m.mu.Unlock()
+}
+
+// RetryAfter estimates, in whole seconds, how long a client should
+// wait after a 429 before resubmitting: the current queue depth times
+// the rolling mean job wall time, divided across the runner pool.
+// Floor 1 s (the pre-computed hint never vanishes); ceiling the
+// per-job wall deadline (a single slot must free up within MaxWall).
+func (m *Manager) RetryAfter() int {
+	m.mu.Lock()
+	depth := len(m.queue)
+	n := m.wallN
+	if n > wallHistLen {
+		n = wallHistLen
+	}
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += m.wallHist[i]
+	}
+	runners := m.opts.Runners
+	maxWall := m.opts.Limits.MaxWall
+	m.mu.Unlock()
+	var mean time.Duration
+	if n > 0 {
+		mean = sum / time.Duration(n)
+	}
+	return retryAfterSecs(depth, runners, mean, maxWall)
+}
+
+// retryAfterSecs is the pure Retry-After computation: ceil(depth ×
+// mean / runners) in seconds, clamped to [1, ceil(maxWall)]. With no
+// history (mean 0) there is nothing to extrapolate and the old
+// constant 1 s is the only honest answer.
+func retryAfterSecs(depth, runners int, mean, maxWall time.Duration) int {
+	if mean <= 0 {
+		return 1
+	}
+	if runners < 1 {
+		runners = 1
+	}
+	wait := time.Duration(depth) * mean / time.Duration(runners)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if ceil := int((maxWall + time.Second - 1) / time.Second); ceil >= 1 && secs > ceil {
+		secs = ceil
+	}
+	return secs
 }
 
 // CacheStats returns the result cache's counters.
@@ -415,7 +481,9 @@ func (m *Manager) runJob(j *Job) {
 	j.publishState()
 
 	ctx, cancel := context.WithTimeout(j.jctx, m.opts.Limits.MaxWall)
+	wallStart := time.Now()
 	arts, err := m.execute(ctx, j)
+	m.noteWall(time.Since(wallStart))
 	cancel()
 	if err == nil && j.jctx.Err() != nil {
 		// The run raced a cancellation to the finish line; honor the

@@ -1,0 +1,73 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// The Retry-After computation's two satellite cases — empty history
+// and a saturated queue — plus the floor/ceiling clamps.
+func TestRetryAfterSecs(t *testing.T) {
+	const maxWall = 2 * time.Minute
+	cases := []struct {
+		name    string
+		depth   int
+		runners int
+		mean    time.Duration
+		want    int
+	}{
+		// Empty history: nothing to extrapolate, keep the old 1 s hint.
+		{"empty history", 16, 2, 0, 1},
+		// Saturated: 16 queued × 30 s / 2 runners = 240 s, clamped to
+		// the 120 s wall deadline — one slot must free up within it.
+		{"saturated clamps to deadline", 16, 2, 30 * time.Second, 120},
+		// Sub-second backlog floors at 1 s.
+		{"floor", 2, 2, 100 * time.Millisecond, 1},
+		// Plain middle case: ceil(4 × 10 s / 2) = 20 s.
+		{"rounds up", 4, 2, 10 * time.Second, 20},
+		// Fractional seconds round up, never down.
+		{"ceil fraction", 3, 2, time.Second, 2},
+		// An empty queue with history still answers the floor.
+		{"empty queue", 0, 2, 30 * time.Second, 1},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSecs(tc.depth, tc.runners, tc.mean, maxWall); got != tc.want {
+			t.Errorf("%s: retryAfterSecs(%d, %d, %v) = %d, want %d",
+				tc.name, tc.depth, tc.runners, tc.mean, got, tc.want)
+		}
+	}
+}
+
+// Manager-level: a fresh manager answers the 1 s floor; recorded wall
+// times feed the rolling mean, and the ring keeps only the most recent
+// wallHistLen entries.
+func TestManagerRetryAfterUsesWallHistory(t *testing.T) {
+	m := NewManager(Options{Runners: 1, QueueDepth: 4})
+	defer m.Close()
+	if got := m.RetryAfter(); got != 1 {
+		t.Fatalf("empty-history RetryAfter = %d, want 1", got)
+	}
+	// Age out any notion of "recent" with wallHistLen fast jobs, then
+	// verify the mean tracks them.
+	for i := 0; i < wallHistLen; i++ {
+		m.noteWall(10 * time.Second)
+	}
+	// Queue empty: floor still applies regardless of history.
+	if got := m.RetryAfter(); got != 1 {
+		t.Fatalf("empty-queue RetryAfter = %d, want 1", got)
+	}
+	// The ring must overwrite, not grow: push wallHistLen new values
+	// and confirm the old ones no longer contribute.
+	for i := 0; i < wallHistLen; i++ {
+		m.noteWall(2 * time.Second)
+	}
+	m.mu.Lock()
+	var sum time.Duration
+	for i := 0; i < wallHistLen; i++ {
+		sum += m.wallHist[i]
+	}
+	m.mu.Unlock()
+	if want := time.Duration(wallHistLen) * 2 * time.Second; sum != want {
+		t.Fatalf("ring sum = %v, want %v (stale entries survived)", sum, want)
+	}
+}

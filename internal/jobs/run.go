@@ -83,6 +83,7 @@ func (m *Manager) runFleet(ctx context.Context, j *Job) (Artifacts, error) {
 	n := spec.Devices
 	params := corpus.Params{Horizon: spec.Horizon.std()}
 	outs := make([]deviceOut, n)
+	rows := make([]deviceRow, n)
 
 	fr, err := fleet.Run(ctx, fleet.Spec{
 		Devices: n,
@@ -95,6 +96,20 @@ func (m *Manager) runFleet(ctx context.Context, j *Job) (Artifacts, error) {
 		},
 		Telemetry: &telemetry.Options{},
 		Progress:  j.progressHook(),
+		// Streaming: per-device Results fold into the bounded
+		// accumulator and are dropped; the summary rows capture the few
+		// scalars the artifact needs via disjoint-index writes. This is
+		// what lets the fleet device limit sit at 4096 without the
+		// control plane holding 4096 ledger maps alive.
+		Stream: func(r fleet.Result) {
+			rows[r.Index] = deviceRow{
+				Index:      r.Index,
+				Seed:       r.Seed,
+				BatteryPct: r.BatteryPct,
+				DrainedJ:   r.DrainedJ,
+				Violations: len(r.Violations),
+			}
+		},
 		Scenario: func(i int, dev *device.Device) error {
 			w, err := scenario.Populate(dev)
 			if err != nil {
@@ -129,31 +144,28 @@ func (m *Manager) runFleet(ctx context.Context, j *Job) (Artifacts, error) {
 	if err != nil {
 		return Artifacts{}, err
 	}
-	for i := range fr.Results {
-		if rerr := fr.Results[i].Err; rerr != nil {
-			return Artifacts{}, fmt.Errorf("jobs: device %d: %w", i, rerr)
-		}
+	// Streaming failures carry only sampled message strings, not error
+	// chains, so a cancelled run must be classified from the context —
+	// finish() needs errors.Is(err, context.Canceled) to hold.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return Artifacts{}, ctxErr
+	}
+	for _, f := range fr.Summary.Failures {
+		return Artifacts{}, fmt.Errorf("jobs: device %d: %s", f.Index, f.Err)
 	}
 
-	// summary.json: per-device rows in index order plus totals.
-	rows := make([]deviceRow, n)
+	// summary.json: finish the per-device rows (watchdog fields come
+	// from the scenario closure's outs) and reduce totals in index
+	// order, so the artifact bytes stay scheduling-independent.
 	var totalJ float64
 	var totalFindings, detected int
-	for i := range fr.Results {
-		r := &fr.Results[i]
+	for i := range rows {
 		o := &outs[i]
-		rows[i] = deviceRow{
-			Index:      r.Index,
-			Seed:       r.Seed,
-			BatteryPct: r.BatteryPct,
-			DrainedJ:   r.DrainedJ,
-			Findings:   len(o.findings),
-			Judged:     o.stats.Judged,
-			Flagged:    o.stats.Flagged,
-			Detected:   o.detected,
-			Violations: len(r.Violations),
-		}
-		totalJ += r.DrainedJ
+		rows[i].Findings = len(o.findings)
+		rows[i].Judged = o.stats.Judged
+		rows[i].Flagged = o.stats.Flagged
+		rows[i].Detected = o.detected
+		totalJ += rows[i].DrainedJ
 		totalFindings += len(o.findings)
 		if o.detected {
 			detected++
@@ -238,6 +250,11 @@ func (m *Manager) runCorpus(ctx context.Context, j *Job) (Artifacts, error) {
 		Progress: j.progressHook(),
 	})
 	if err != nil {
+		// The replay reports cancelled devices as sampled failure
+		// strings; recover the error chain from the context.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Artifacts{}, ctxErr
+		}
 		return Artifacts{}, err
 	}
 	cellsJSON, err := res.MarshalCells()

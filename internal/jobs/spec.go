@@ -110,7 +110,10 @@ const (
 // the defaults below.
 type Limits struct {
 	// MaxDevices bounds a single job's device count (fleet devices or
-	// corpus reps).
+	// corpus reps). Since the fleet runner went streaming (bounded
+	// accumulator, no per-device retention) memory no longer scales
+	// with fleet size, so this bound is generous; MaxSimHours remains
+	// the binding limit on total simulated work.
 	MaxDevices int
 	// MaxSimHours bounds devices × horizon, the job's total simulated
 	// time.
@@ -125,9 +128,15 @@ type Limits struct {
 	Workers int
 }
 
-// Default limits.
+// Default limits. MaxDevices was 256 when the fleet runner retained
+// every per-device Result; the streaming accumulator made job memory
+// O(pending window), so the device bound now tracks what a job can
+// simulate inside MaxSimHours (4096 devices × the 1-hour corpus
+// minimum horizon). Raising a Limits field never changes Spec.Key —
+// limits gate admission, they are not part of the content address —
+// so cached artifacts stay valid across the raise.
 const (
-	DefaultMaxDevices  = 256
+	DefaultMaxDevices  = 4096
 	DefaultMaxSimHours = 4096
 	DefaultMaxWall     = 2 * time.Minute
 )

@@ -25,11 +25,12 @@ func obsvFleetExports(t *testing.T, workers int) (string, string) {
 	const devices = 4
 	collectors := make([]*FlameCollector, devices)
 	fr, err := fleet.Run(context.Background(), fleet.Spec{
-		Devices:   devices,
-		Workers:   workers,
-		Seed:      42,
-		Config:    device.Config{EAndroid: true, Policy: accounting.BatteryStats},
-		Telemetry: &telemetry.Options{},
+		Devices:       devices,
+		Workers:       workers,
+		Seed:          42,
+		RetainResults: true, // the flame fold reads Result.Custom below
+		Config:        device.Config{EAndroid: true, Policy: accounting.BatteryStats},
+		Telemetry:     &telemetry.Options{},
 		Scenario: func(i int, dev *device.Device) error {
 			collectors[i] = AttachFlame(dev)
 			w, err := scenario.Populate(dev)
