@@ -33,7 +33,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
-	$(GO) test -run NONE -bench . -benchmem .
+	$(GO) test -run NONE -bench . -benchmem . ./internal/sim ./internal/hw ./internal/telemetry
 
 # Perf regression gate: rerun the fleet/telemetry/check studies at the
 # shape recorded in the committed BENCH_*.json artifacts and fail on any

@@ -178,6 +178,11 @@ type PackageManager struct {
 	// tombstones keeps display labels for uninstalled packages so
 	// battery views can still name them in historical rows.
 	tombstones map[UID]string
+
+	// gen counts membership changes (installs and uninstalls).
+	// Samplers that derive state from the app census compare it to
+	// skip rebuilding between changes.
+	gen uint64
 }
 
 // NewPackageManager returns an empty package manager.
@@ -204,6 +209,7 @@ func (pm *PackageManager) Install(m *manifest.Manifest) (*App, error) {
 	pm.byUID[a.UID] = a
 	pm.byPkg[m.Package] = a
 	pm.list = append(pm.list, a)
+	pm.gen++
 	return a, nil
 }
 
@@ -255,6 +261,7 @@ func (pm *PackageManager) Uninstall(pkg string) error {
 		}
 	}
 	pm.tombstones[a.UID] = a.Label()
+	pm.gen++
 	for _, fn := range pm.uninstallHooks {
 		fn(a)
 	}
@@ -275,6 +282,11 @@ func (pm *PackageManager) Apps() []*App {
 	copy(out, pm.list)
 	return out
 }
+
+// Gen reports a counter that advances on every install or uninstall;
+// it identifies the current app census, so per-tick samplers can cache
+// census-derived state until membership actually changes.
+func (pm *PackageManager) Gen() uint64 { return pm.gen }
 
 // EachApp calls fn for every installed app in ascending UID order,
 // without allocating. fn must not install or uninstall packages.

@@ -455,6 +455,10 @@ func runDevice(ctx context.Context, spec Spec, i int, pool *sim.EventPool) (res 
 		res.Err = fmt.Errorf("fleet: device %d: %w", i, err)
 		return res
 	}
+	// Hand the device's timing wheel (and resident events) back to the
+	// worker's pool once we are done with it — finished or failed — so
+	// the next device on this worker starts with warm arenas.
+	defer dev.Engine.Recycle()
 	if spec.Scenario != nil {
 		if err := spec.Scenario(i, dev); err != nil {
 			res.Err = fmt.Errorf("fleet: device %d scenario: %w", i, err)

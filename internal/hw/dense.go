@@ -284,3 +284,87 @@ func (iv Interval) Clone() Interval {
 	iv.apps = iv.apps.Clone()
 	return iv
 }
+
+// uidColumns is the meter's per-UID hot state in struct-of-arrays form:
+// one column per field instead of a slice of structs, so the accrual
+// loop walks each touched field cache-linearly and the instantaneous-
+// power sampler reads only the columns it needs. Slots mirror
+// internal/app's sequential UID assignment (index uid-base), exactly
+// like UsageTable.
+type uidColumns struct {
+	base app.UID
+	// cpuUtil is the utilization currently attributed to the app
+	// (non-zero only while attributed: zero util clears the slot).
+	cpuUtil []float64
+	// tailExp, when non-zero, is the instant the app's WiFi radio tail
+	// expires. An app never holds WiFi and has a tail at once.
+	tailExp []sim.Time
+	// holds[ci] counts nested peripheral holds of component ci+1;
+	// holdMask mirrors it as a per-UID bitset (bit ci set while
+	// holds[ci] > 0) so "any hold?" and "which?" are one byte load.
+	holds    [numComponents][]int32
+	holdMask []uint8
+	// live marks slots carrying any state.
+	live []bool
+}
+
+// init pre-sizes every column for capHint slots above base, so the
+// first few apps of a device never grow the table.
+func (c *uidColumns) init(base app.UID, capHint int) {
+	c.base = base
+	c.cpuUtil = make([]float64, 0, capHint)
+	c.tailExp = make([]sim.Time, 0, capHint)
+	for ci := range c.holds {
+		c.holds[ci] = make([]int32, 0, capHint)
+	}
+	c.holdMask = make([]uint8, 0, capHint)
+	c.live = make([]bool, 0, capHint)
+}
+
+// index returns uid's slot, or -1 when uid is outside the table.
+func (c *uidColumns) index(uid app.UID) int {
+	i := int(uid - c.base)
+	if uid < c.base || i >= len(c.live) {
+		return -1
+	}
+	return i
+}
+
+// ensure returns uid's slot, growing (or re-basing, for sub-base UIDs)
+// every column in lockstep as needed.
+func (c *uidColumns) ensure(uid app.UID) int {
+	if uid < c.base {
+		shift := int(c.base - uid)
+		c.cpuUtil = prepend(c.cpuUtil, shift)
+		c.tailExp = prepend(c.tailExp, shift)
+		for ci := range c.holds {
+			c.holds[ci] = prepend(c.holds[ci], shift)
+		}
+		c.holdMask = prepend(c.holdMask, shift)
+		c.live = prepend(c.live, shift)
+		c.base = uid
+	}
+	i := int(uid - c.base)
+	for i >= len(c.live) {
+		c.cpuUtil = append(c.cpuUtil, 0)
+		c.tailExp = append(c.tailExp, 0)
+		for ci := range c.holds {
+			c.holds[ci] = append(c.holds[ci], 0)
+		}
+		c.holdMask = append(c.holdMask, 0)
+		c.live = append(c.live, false)
+	}
+	return i
+}
+
+// emptyAt reports whether slot i carries no state and can be released.
+func (c *uidColumns) emptyAt(i int) bool {
+	return c.cpuUtil[i] == 0 && c.tailExp[i] == 0 && c.holdMask[i] == 0
+}
+
+// prepend shifts a column up by n zero slots (the rare sub-base case).
+func prepend[T any](col []T, n int) []T {
+	grown := make([]T, n+len(col))
+	copy(grown[n:], col)
+	return grown
+}

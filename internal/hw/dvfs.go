@@ -99,7 +99,7 @@ func (p Profile) effectiveCPUFullMW(totalUtil float64) float64 {
 func (m *Meter) totalCPUUtil() float64 {
 	utils := m.utilScratch[:0]
 	for _, uid := range m.liveUIDs {
-		if u := m.state[uid-m.stateBase].cpuUtil; u != 0 {
+		if u := m.cols.cpuUtil[uid-m.cols.base]; u != 0 {
 			utils = append(utils, u)
 		}
 	}
@@ -116,7 +116,15 @@ func (m *Meter) totalCPUUtil() float64 {
 }
 
 // cpuMarginalMW is the per-unit-utilization CPU cost at the current
-// operating point.
+// operating point. The result is cached until the next SetCPUUtil — the
+// only mutation it depends on — so the per-app instantaneous-power
+// sampler pays the collect+sort once per attribution change instead of
+// once per call. The cached float is the exact value a fresh evaluation
+// would produce, so results stay bit-deterministic.
 func (m *Meter) cpuMarginalMW() float64 {
-	return m.profile.effectiveCPUFullMW(m.totalCPUUtil())
+	if !m.cpuMWValid {
+		m.cpuMW = m.profile.effectiveCPUFullMW(m.totalCPUUtil())
+		m.cpuMWValid = true
+	}
+	return m.cpuMW
 }

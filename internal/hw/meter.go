@@ -2,6 +2,7 @@ package hw
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/app"
@@ -56,25 +57,6 @@ type SinkFunc func(Interval)
 // Accrue implements Sink.
 func (f SinkFunc) Accrue(iv Interval) { f(iv) }
 
-// uidState is one app's live meter state, stored densely per UID slot.
-type uidState struct {
-	// cpuUtil is the utilization currently attributed to the app
-	// (non-zero only while attributed: zero util clears the slot).
-	cpuUtil float64
-	// holds counts nested peripheral holds per component (index
-	// Component-1; CPU and Screen slots stay zero).
-	holds [numComponents]int32
-	// tailExp, when non-zero, is the instant the app's WiFi radio tail
-	// expires. An app never holds WiFi and has a tail at once.
-	tailExp sim.Time
-}
-
-// empty reports whether the state carries nothing and its slot can be
-// released.
-func (s *uidState) empty() bool {
-	return s.cpuUtil == 0 && s.tailExp == 0 && s.holds == [numComponents]int32{}
-}
-
 // Meter tracks device hardware state and integrates energy exactly over
 // each span of constant power.
 //
@@ -82,12 +64,12 @@ func (s *uidState) empty() bool {
 // at the old power level up to now), then apply the change, so callers
 // never need to worry about ordering within a single instant.
 //
-// Per-UID state lives in a dense slot table mirroring internal/app's
-// small-int UID assignment, with the live UID set cached as a sorted
-// slice. The cache replaces the per-flush "collect keys + sort.Slice"
-// pass the map representation needed: it is invalidated (updated in
-// place) only when CPU attribution, holds or tails change, never per
-// interval.
+// Per-UID state lives in dense struct-of-arrays columns mirroring
+// internal/app's small-int UID assignment (see uidColumns), with the
+// live UID set cached as a sorted slice. The cache replaces the
+// per-flush "collect keys + sort.Slice" pass the map representation
+// needed: it is invalidated (updated in place) only when CPU
+// attribution, holds or tails change, never per interval.
 type Meter struct {
 	now     func() sim.Time
 	profile Profile
@@ -101,12 +83,20 @@ type Meter struct {
 	screenDim  bool
 	brightness int
 
-	// state is the dense per-UID table: state[uid-stateBase].
-	stateBase app.UID
-	state     []uidState
-	stateLive []bool
+	// cols is the dense per-UID state table in columnar form.
+	cols uidColumns
 	// liveUIDs is the sorted cache of UIDs with any live state.
 	liveUIDs []app.UID
+	// periphMW caches per-component full power (index Component-1), so
+	// the accrual loop reads a table instead of switching on the
+	// profile per hold.
+	periphMW [numComponents]float64
+	// cpuMW caches cpuMarginalMW between CPU-attribution changes: the
+	// DVFS operating point depends only on the cpuUtil column, so the
+	// instantaneous-power sampler (called per app per tick) reuses the
+	// exact float the last evaluation produced instead of re-sorting.
+	cpuMW      float64
+	cpuMWValid bool
 	// holderCount[c-1] counts distinct UIDs holding component c; it is
 	// the denominator of the per-holder energy share and makes "is c
 	// held at all" O(1).
@@ -148,9 +138,15 @@ func NewMeter(now func() sim.Time, profile Profile, battery *Battery) (*Meter, e
 		battery:    battery,
 		lastT:      now(),
 		brightness: 102, // Android's default ~40% brightness
-		stateBase:  app.FirstAppUID,
 		iv:         NewInterval(0, 0),
 	}
+	// Pre-size the columns for a typical app census so the first
+	// installs never grow the table (see uidColumns).
+	m.cols.init(app.FirstAppUID, 16)
+	m.periphMW[Camera-1] = profile.CameraOn
+	m.periphMW[GPS-1] = profile.GPSOn
+	m.periphMW[WiFi-1] = profile.WiFiHigh
+	m.periphMW[Audio-1] = profile.AudioOn
 	return m, nil
 }
 
@@ -182,39 +178,24 @@ func (m *Meter) Brightness() int { return m.brightness }
 // Suspended reports whether the platform is in deep sleep.
 func (m *Meter) Suspended() bool { return m.suspended }
 
-// stateGet returns uid's live state, or nil.
-func (m *Meter) stateGet(uid app.UID) *uidState {
-	if uid < m.stateBase {
-		return nil
+// stateIdx returns uid's live column slot, or -1.
+func (m *Meter) stateIdx(uid app.UID) int {
+	i := m.cols.index(uid)
+	if i < 0 || !m.cols.live[i] {
+		return -1
 	}
-	i := int(uid - m.stateBase)
-	if i >= len(m.state) || !m.stateLive[i] {
-		return nil
-	}
-	return &m.state[i]
+	return i
 }
 
-// stateRow returns uid's state, creating (and activating) its slot as
+// stateSlot returns uid's column slot, creating (and activating) it as
 // needed and inserting uid into the sorted live cache on first touch.
-func (m *Meter) stateRow(uid app.UID) *uidState {
-	if uid < m.stateBase {
-		shift := int(m.stateBase - uid)
-		state := make([]uidState, shift+len(m.state))
-		copy(state[shift:], m.state)
-		live := make([]bool, shift+len(m.stateLive))
-		copy(live[shift:], m.stateLive)
-		m.state, m.stateLive, m.stateBase = state, live, uid
-	}
-	i := int(uid - m.stateBase)
-	for i >= len(m.state) {
-		m.state = append(m.state, uidState{})
-		m.stateLive = append(m.stateLive, false)
-	}
-	if !m.stateLive[i] {
-		m.stateLive[i] = true
+func (m *Meter) stateSlot(uid app.UID) int {
+	i := m.cols.ensure(uid)
+	if !m.cols.live[i] {
+		m.cols.live[i] = true
 		m.insertLive(uid)
 	}
-	return &m.state[i]
+	return i
 }
 
 func (m *Meter) insertLive(uid app.UID) {
@@ -229,12 +210,12 @@ func (m *Meter) insertLive(uid app.UID) {
 	m.liveUIDs[j] = uid
 }
 
-// releaseState drops uid from the live cache when its state is empty.
-func (m *Meter) releaseState(uid app.UID, st *uidState) {
-	if !st.empty() {
+// releaseState drops uid from the live cache when its slot is empty.
+func (m *Meter) releaseState(uid app.UID, i int) {
+	if !m.cols.emptyAt(i) {
 		return
 	}
-	m.stateLive[uid-m.stateBase] = false
+	m.cols.live[i] = false
 	for j, u := range m.liveUIDs {
 		if u == uid {
 			m.liveUIDs = append(m.liveUIDs[:j], m.liveUIDs[j+1:]...)
@@ -245,8 +226,8 @@ func (m *Meter) releaseState(uid app.UID, st *uidState) {
 
 // CPUUtil reports the utilization currently attributed to uid.
 func (m *Meter) CPUUtil(uid app.UID) float64 {
-	if st := m.stateGet(uid); st != nil {
-		return st.cpuUtil
+	if i := m.stateIdx(uid); i >= 0 {
+		return m.cols.cpuUtil[i]
 	}
 	return 0
 }
@@ -276,17 +257,17 @@ func (m *Meter) SetSuspended(v bool) {
 func (m *Meter) dropTails(cutoff sim.Time) {
 	m.uidScratch = m.uidScratch[:0]
 	for _, uid := range m.liveUIDs {
-		st := &m.state[uid-m.stateBase]
-		if st.tailExp != 0 && (cutoff == 0 || st.tailExp <= cutoff) {
-			st.tailExp = 0
+		i := int(uid - m.cols.base)
+		if exp := m.cols.tailExp[i]; exp != 0 && (cutoff == 0 || exp <= cutoff) {
+			m.cols.tailExp[i] = 0
 			m.tailCount--
-			if st.empty() {
+			if m.cols.emptyAt(i) {
 				m.uidScratch = append(m.uidScratch, uid)
 			}
 		}
 	}
 	for _, uid := range m.uidScratch {
-		m.releaseState(uid, &m.state[uid-m.stateBase])
+		m.releaseState(uid, int(uid-m.cols.base))
 	}
 }
 
@@ -346,10 +327,12 @@ func (m *Meter) SetCPUUtil(uid app.UID, util float64) {
 		return
 	}
 	m.accrue()
-	st := m.stateRow(uid)
-	m.tel.RecordPowerState(m.now(), uid, "cpu", st.cpuUtil, util)
-	st.cpuUtil = util
-	m.releaseState(uid, st)
+	i := m.stateSlot(uid)
+	m.tel.RecordPowerState(m.now(), uid, "cpu", m.cols.cpuUtil[i], util)
+	m.cols.cpuUtil[i] = util
+	// The only mutation the DVFS operating point depends on.
+	m.cpuMWValid = false
+	m.releaseState(uid, i)
 }
 
 // Hold records that uid powered component c (camera, GPS, WiFi, audio).
@@ -360,15 +343,17 @@ func (m *Meter) Hold(c Component, uid app.UID) error {
 		return fmt.Errorf("hw: cannot hold %v", c)
 	}
 	m.accrue()
-	st := m.stateRow(uid)
+	i := m.stateSlot(uid)
 	ci := int(c - 1)
-	if st.holds[ci] == 0 {
+	if m.cols.holds[ci][i] == 0 {
 		m.holderCount[ci]++
+		m.cols.holdMask[i] |= 1 << uint(ci)
 	}
-	st.holds[ci]++
-	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(st.holds[ci]-1), float64(st.holds[ci]))
-	if c == WiFi && st.tailExp != 0 {
-		st.tailExp = 0
+	m.cols.holds[ci][i]++
+	n := m.cols.holds[ci][i]
+	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(n-1), float64(n))
+	if c == WiFi && m.cols.tailExp[i] != 0 {
+		m.cols.tailExp[i] = 0
 		m.tailCount--
 	}
 	return nil
@@ -381,29 +366,31 @@ func (m *Meter) Release(c Component, uid app.UID) error {
 	if !peripheral(c) {
 		return fmt.Errorf("hw: cannot release %v", c)
 	}
-	st := m.stateGet(uid)
+	i := m.stateIdx(uid)
 	ci := int(c - 1)
-	if st == nil || st.holds[ci] <= 0 {
+	if i < 0 || m.cols.holds[ci][i] <= 0 {
 		return fmt.Errorf("hw: release of %v by uid %d without hold", c, uid)
 	}
 	m.accrue()
-	st.holds[ci]--
-	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(st.holds[ci]+1), float64(st.holds[ci]))
-	if st.holds[ci] == 0 {
+	m.cols.holds[ci][i]--
+	n := m.cols.holds[ci][i]
+	m.tel.RecordPowerState(m.now(), uid, c.String(), float64(n+1), float64(n))
+	if n == 0 {
 		m.holderCount[ci]--
+		m.cols.holdMask[i] &^= 1 << uint(ci)
 		if c == WiFi && m.profile.WiFiTail > 0 && m.profile.WiFiLow > 0 {
-			st.tailExp = m.now().Add(m.profile.WiFiTail)
+			m.cols.tailExp[i] = m.now().Add(m.profile.WiFiTail)
 			m.tailCount++
 		}
-		m.releaseState(uid, st)
+		m.releaseState(uid, i)
 	}
 	return nil
 }
 
 // InWiFiTail reports whether uid's radio is in its ramp-down state.
 func (m *Meter) InWiFiTail(uid app.UID) bool {
-	st := m.stateGet(uid)
-	return st != nil && st.tailExp != 0 && st.tailExp.After(m.now())
+	i := m.stateIdx(uid)
+	return i >= 0 && m.cols.tailExp[i] != 0 && m.cols.tailExp[i].After(m.now())
 }
 
 // Holding reports whether uid currently powers component c.
@@ -411,8 +398,8 @@ func (m *Meter) Holding(c Component, uid app.UID) bool {
 	if !peripheral(c) {
 		return false
 	}
-	st := m.stateGet(uid)
-	return st != nil && st.holds[c-1] > 0
+	i := m.stateIdx(uid)
+	return i >= 0 && m.cols.holds[c-1][i] > 0
 }
 
 func peripheral(c Component) bool {
@@ -423,19 +410,10 @@ func peripheral(c Component) bool {
 	return false
 }
 
+// peripheralPower reads the per-component full-power table built at
+// construction (zero for CPU/Screen, which cannot be held).
 func (m *Meter) peripheralPower(c Component) float64 {
-	switch c {
-	case Camera:
-		return m.profile.CameraOn
-	case GPS:
-		return m.profile.GPSOn
-	case WiFi:
-		return m.profile.WiFiHigh
-	case Audio:
-		return m.profile.AudioOn
-	default:
-		return 0
-	}
+	return m.periphMW[c-1]
 }
 
 // accrue closes the span [lastT, now) and feeds it to every sink and the
@@ -450,7 +428,7 @@ func (m *Meter) accrue() {
 		segEnd := t
 		if m.tailCount > 0 {
 			for _, uid := range m.liveUIDs {
-				if exp := m.state[uid-m.stateBase].tailExp; exp > m.lastT && exp < segEnd {
+				if exp := m.cols.tailExp[uid-m.cols.base]; exp > m.lastT && exp < segEnd {
 					segEnd = exp
 				}
 			}
@@ -491,30 +469,31 @@ func (m *Meter) accrueSegment(t sim.Time) {
 		// iteration keeps the table's active set sorted for free.
 		cpuMW := m.cpuMarginalMW()
 		for _, uid := range m.liveUIDs {
-			st := &m.state[uid-m.stateBase]
+			i := int(uid - m.cols.base)
 			var row *UsageRow
-			if st.cpuUtil != 0 {
+			if u := m.cols.cpuUtil[i]; u != 0 {
 				// Per-app CPU, at the current DVFS operating point
 				// (linear when the profile has no frequency ladder).
 				row = iv.apps.Row(uid)
-				row.Add(CPU, mWtoJ(st.cpuUtil*cpuMW, secs))
+				row.Add(CPU, mWtoJ(u*cpuMW, secs))
 			}
 			// Peripherals: full component power charged to each holder
 			// (if two apps hold the camera, hardware draws once but both
-			// keep it on; charge the holder set equally).
-			for ci := range st.holds {
-				if st.holds[ci] > 0 {
-					c := Component(ci + 1)
-					share := mWtoJ(m.peripheralPower(c), secs) / float64(m.holderCount[ci])
-					if row == nil {
-						row = iv.apps.Row(uid)
-					}
-					row.Add(c, share)
+			// keep it on; charge the holder set equally). The hold mask
+			// walks only the set components, in ascending component
+			// order like the struct loop it replaces.
+			for mask := m.cols.holdMask[i]; mask != 0; mask &= mask - 1 {
+				ci := bits.TrailingZeros8(mask)
+				c := Component(ci + 1)
+				share := mWtoJ(m.periphMW[ci], secs) / float64(m.holderCount[ci])
+				if row == nil {
+					row = iv.apps.Row(uid)
 				}
+				row.Add(c, share)
 			}
 			// Radio tails: apps whose WiFi hold ended recently keep
 			// drawing the low-power state until their tail expires.
-			if st.tailExp > m.lastT {
+			if m.cols.tailExp[i] > m.lastT {
 				if row == nil {
 					row = iv.apps.Row(uid)
 				}
@@ -580,9 +559,9 @@ func (m *Meter) InstantPowerMW() float64 {
 		cpuMW := m.cpuMarginalMW()
 		now := m.now()
 		for _, uid := range m.liveUIDs {
-			st := &m.state[uid-m.stateBase]
-			p += st.cpuUtil * cpuMW
-			if st.tailExp != 0 && st.tailExp.After(now) {
+			i := int(uid - m.cols.base)
+			p += m.cols.cpuUtil[i] * cpuMW
+			if exp := m.cols.tailExp[i]; exp != 0 && exp.After(now) {
 				p += m.profile.WiFiLow
 			}
 		}
@@ -636,23 +615,65 @@ func (m *Meter) InstantAppPowerMW(uid app.UID) float64 {
 	if m.suspended {
 		return 0
 	}
-	st := m.stateGet(uid)
-	if st == nil {
+	i := m.stateIdx(uid)
+	if i < 0 {
 		return 0
 	}
 	var p float64
-	if st.cpuUtil != 0 {
-		p = st.cpuUtil * m.cpuMarginalMW()
+	if u := m.cols.cpuUtil[i]; u != 0 {
+		p = u * m.cpuMarginalMW()
 	}
-	for ci := range st.holds {
-		if st.holds[ci] > 0 {
-			p += m.peripheralPower(Component(ci+1)) / float64(m.holderCount[ci])
-		}
+	for mask := m.cols.holdMask[i]; mask != 0; mask &= mask - 1 {
+		ci := bits.TrailingZeros8(mask)
+		p += m.periphMW[ci] / float64(m.holderCount[ci])
 	}
-	if st.tailExp != 0 && st.tailExp.After(m.now()) {
+	if exp := m.cols.tailExp[i]; exp != 0 && exp.After(m.now()) {
 		p += m.profile.WiFiLow
 	}
 	return p
+}
+
+// AppPowersInto fills dst[j] with the instantaneous own-power draw (in
+// mW, as InstantAppPowerMW) of the app occupying slots[j], where slots
+// are ascending app slots (see app.Slot). One merge over the sorted
+// live-UID cache replaces a per-app query: power-signature samplers
+// call this once per tick for the whole census, so apps with no live
+// meter state cost one zero store instead of a lookup each.
+func (m *Meter) AppPowersInto(slots []int32, dst []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	if m.suspended {
+		return
+	}
+	cpuMW := m.cpuMarginalMW()
+	now := m.now()
+	j := 0
+	for _, uid := range m.liveUIDs {
+		s := int32(app.Slot(uid))
+		for j < len(slots) && slots[j] < s {
+			j++
+		}
+		if j >= len(slots) {
+			break
+		}
+		if slots[j] != s {
+			continue
+		}
+		i := int(uid - m.cols.base)
+		var p float64
+		if u := m.cols.cpuUtil[i]; u != 0 {
+			p = u * cpuMW
+		}
+		for mask := m.cols.holdMask[i]; mask != 0; mask &= mask - 1 {
+			ci := bits.TrailingZeros8(mask)
+			p += m.periphMW[ci] / float64(m.holderCount[ci])
+		}
+		if exp := m.cols.tailExp[i]; exp != 0 && exp.After(now) {
+			p += m.profile.WiFiLow
+		}
+		dst[j] = p
+	}
 }
 
 // UIDs returns the set of uids with CPU attribution or live holds,
@@ -661,8 +682,8 @@ func (m *Meter) InstantAppPowerMW(uid app.UID) float64 {
 func (m *Meter) UIDs() []app.UID {
 	out := make([]app.UID, 0, len(m.liveUIDs))
 	for _, uid := range m.liveUIDs {
-		st := &m.state[uid-m.stateBase]
-		if st.cpuUtil != 0 || st.holds != [numComponents]int32{} {
+		i := int(uid - m.cols.base)
+		if m.cols.cpuUtil[i] != 0 || m.cols.holdMask[i] != 0 {
 			out = append(out, uid)
 		}
 	}

@@ -17,6 +17,7 @@ package powersig
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -57,6 +58,41 @@ type Verdict struct {
 	TrainedMeanMW float64
 }
 
+// traceSeg is a run of sampling frames over one stable app census:
+// slots lists the sampled app slots (ascending — EachApp order) and
+// data holds len(slots) samples per frame, frame-major. Storing frames
+// flat in one float column instead of a map of per-app slices is what
+// makes sampling cheap enough for fleet scale: a tick appends one
+// pointer-free float block, so the 1 Hz × devices × apps hot path
+// carries no hashing, no per-app slice headers and no GC write
+// barriers. An install/uninstall mid-window just starts a new segment.
+//
+// Segments are fixed-capacity chunks (segFrames frames): when one
+// fills, the next frame starts a fresh segment with an exact-size data
+// array. Chunking keeps append from ever reallocating — the doubling
+// growth of an open-ended trace array was the fleet bench's largest
+// allocation site — and retired chunks (Train) go to a free list for
+// the detection window to reuse.
+type traceSeg struct {
+	slots []int32
+	data  []float64
+}
+
+// segFrames is the chunk capacity, in frames, of one segment.
+const segFrames = 256
+
+// samplesFor iterates slot's samples within the segment in time order.
+func (s *traceSeg) samplesFor(slot int32, fn func(v float64)) {
+	k, ok := slices.BinarySearch(s.slots, slot)
+	if !ok {
+		return
+	}
+	stride := len(s.slots)
+	for j := k; j < len(s.data); j += stride {
+		fn(s.data[j])
+	}
+}
+
 // Detector samples per-app power from the meter on a fixed period,
 // trains signatures over an initial window, then compares live windows
 // against them.
@@ -68,8 +104,26 @@ type Detector struct {
 
 	ticker *sim.Ticker
 
-	traces map[app.UID][]float64
-	sigs   map[app.UID]Signature
+	// segs is the live trace log (see traceSeg); the last segment is
+	// the active one.
+	segs []traceSeg
+	// freeData holds retired segment chunks for reuse.
+	freeData [][]float64
+	// frameSlots/frameVals are the current tick's scratch frame —
+	// frameN is the logical length; the slices stay at full length and
+	// are written by index so the hot callback never stores a slice
+	// header (each such store is a GC write barrier). The slot census
+	// is cached across ticks and rebuilt only when the package
+	// manager's generation moves (install/uninstall).
+	frameSlots []int32
+	frameVals  []float64
+	frameN     int
+	censusGen  uint64
+	censusOK   bool
+	// sampleFn is the EachApp callback, built once so sampling does not
+	// close over the receiver on every tick.
+	sampleFn func(*app.App)
+	sigs     map[app.UID]Signature
 }
 
 // NewDetector builds a detector; Start begins sampling.
@@ -80,14 +134,29 @@ func NewDetector(engine *sim.Engine, meter *hw.Meter, pm *app.PackageManager, pe
 	if period <= 0 {
 		period = DefaultSamplePeriod
 	}
-	return &Detector{
+	d := &Detector{
 		engine: engine,
 		meter:  meter,
 		pm:     pm,
 		period: period,
-		traces: make(map[app.UID][]float64),
 		sigs:   make(map[app.UID]Signature),
-	}, nil
+	}
+	d.sampleFn = func(a *app.App) {
+		if a.System {
+			return
+		}
+		s := app.Slot(a.UID)
+		if s < 0 {
+			return
+		}
+		n := d.frameN
+		if n == len(d.frameSlots) {
+			d.frameSlots = append(d.frameSlots, 0)
+		}
+		d.frameSlots[n] = int32(s)
+		d.frameN = n + 1
+	}
+	return d, nil
 }
 
 // Start begins periodic sampling. Stop with Stop.
@@ -110,32 +179,135 @@ func (d *Detector) sample() {
 	// EachApp iterates the package manager's cached sorted list — the
 	// per-sample copy+sort of Apps() dominated the fleet bench's
 	// allocation profile at a 1 Hz sampling rate per device.
-	d.pm.EachApp(func(a *app.App) {
-		if a.System {
-			return
+	if g := d.pm.Gen(); !d.censusOK || g != d.censusGen {
+		d.frameN = 0
+		d.pm.EachApp(d.sampleFn)
+		d.censusGen, d.censusOK = g, true
+	}
+	k := d.frameN
+	if k == 0 {
+		return
+	}
+	slots := d.frameSlots[:k]
+	vals := d.frameVals
+	if cap(vals) < k {
+		vals = make([]float64, k)
+		d.frameVals = vals
+	} else {
+		vals = vals[:k]
+	}
+	// One bulk meter pass computes the whole frame; apps without live
+	// meter state are zero-filled without a per-app lookup.
+	d.meter.AppPowersInto(slots, vals)
+	var seg *traceSeg
+	if n := len(d.segs); n > 0 {
+		sg := &d.segs[n-1]
+		if len(sg.data)+k <= cap(sg.data) && slices.Equal(sg.slots, slots) {
+			seg = sg
 		}
-		d.traces[a.UID] = append(d.traces[a.UID], d.meter.InstantAppPowerMW(a.UID))
-	})
+	}
+	if seg == nil {
+		d.segs = append(d.segs, traceSeg{
+			slots: slices.Clone(slots),
+			data:  d.chunkFor(segFrames * k),
+		})
+		seg = &d.segs[len(d.segs)-1]
+	}
+	seg.data = append(seg.data, vals...)
+}
+
+// chunkFor returns a data chunk with at least want capacity, reusing a
+// retired one when possible.
+func (d *Detector) chunkFor(want int) []float64 {
+	for i := len(d.freeData) - 1; i >= 0; i-- {
+		if c := d.freeData[i]; cap(c) >= want {
+			last := len(d.freeData) - 1
+			d.freeData[i] = d.freeData[last]
+			d.freeData[last] = nil
+			d.freeData = d.freeData[:last]
+			return c[:0]
+		}
+	}
+	return make([]float64, 0, want)
+}
+
+// eachSample iterates every sample of uid across segments in time
+// order — exactly the order the former per-app append log held them in.
+func (d *Detector) eachSample(uid app.UID, fn func(v float64)) {
+	s := app.Slot(uid)
+	if s < 0 {
+		return
+	}
+	for i := range d.segs {
+		d.segs[i].samplesFor(int32(s), fn)
+	}
+}
+
+// maxSlot reports the highest sampled app slot, -1 when none.
+func (d *Detector) maxSlot() int32 {
+	m := int32(-1)
+	for i := range d.segs {
+		if sl := d.segs[i].slots; len(sl) > 0 && sl[len(sl)-1] > m {
+			m = sl[len(sl)-1] // slots are ascending
+		}
+	}
+	return m
 }
 
 // TraceLen reports how many samples uid has accumulated.
-func (d *Detector) TraceLen(uid app.UID) int { return len(d.traces[uid]) }
+func (d *Detector) TraceLen(uid app.UID) int {
+	n := 0
+	d.eachSample(uid, func(float64) { n++ })
+	return n
+}
+
+// summarizeUID folds uid's trace into a signature; ok is false when the
+// trace is empty. The two accumulation passes visit samples in time
+// order, bit-identical to summarizing a contiguous trace slice.
+func (d *Detector) summarizeUID(uid app.UID) (Signature, bool) {
+	var sum, peak float64
+	n := 0
+	d.eachSample(uid, func(v float64) {
+		sum += v
+		if v > peak {
+			peak = v
+		}
+		n++
+	})
+	if n == 0 {
+		return Signature{}, false
+	}
+	mean := sum / float64(n)
+	var varsum float64
+	d.eachSample(uid, func(v float64) { varsum += (v - mean) * (v - mean) })
+	return Signature{
+		UID:     uid,
+		MeanMW:  mean,
+		StdMW:   math.Sqrt(varsum / float64(n)),
+		PeakMW:  peak,
+		Samples: n,
+	}, true
+}
 
 // Train freezes the samples collected so far into per-app signatures and
 // clears the live traces. Call after a known-benign observation window.
 func (d *Detector) Train() error {
 	trained := 0
-	for uid, trace := range d.traces {
-		if len(trace) == 0 {
-			continue
+	for s := int32(0); s <= d.maxSlot(); s++ {
+		uid := app.FromSlot(int(s))
+		if sig, ok := d.summarizeUID(uid); ok {
+			d.sigs[uid] = sig
+			trained++
 		}
-		d.sigs[uid] = summarize(uid, trace)
-		trained++
 	}
 	if trained == 0 {
 		return fmt.Errorf("powersig: no samples to train on")
 	}
-	d.traces = make(map[app.UID][]float64)
+	for i := range d.segs {
+		d.freeData = append(d.freeData, d.segs[i].data)
+		d.segs[i] = traceSeg{}
+	}
+	d.segs = d.segs[:0]
 	return nil
 }
 
@@ -149,28 +321,6 @@ func (d *Detector) Signatures() []Signature {
 	return out
 }
 
-func summarize(uid app.UID, trace []float64) Signature {
-	var sum, peak float64
-	for _, v := range trace {
-		sum += v
-		if v > peak {
-			peak = v
-		}
-	}
-	mean := sum / float64(len(trace))
-	var varsum float64
-	for _, v := range trace {
-		varsum += (v - mean) * (v - mean)
-	}
-	return Signature{
-		UID:     uid,
-		MeanMW:  mean,
-		StdMW:   math.Sqrt(varsum / float64(len(trace))),
-		PeakMW:  peak,
-		Samples: len(trace),
-	}
-}
-
 // slackMW tolerates small absolute drifts so near-zero trained profiles
 // don't flag on noise-level activity.
 const slackMW = 25
@@ -180,19 +330,15 @@ const slackMW = 25
 // trained peak (whichever is larger), is anomalous. Apps without a
 // trained signature are judged against a zero profile.
 func (d *Detector) Classify() []Verdict {
-	uids := make([]app.UID, 0, len(d.traces))
-	for uid := range d.traces {
-		uids = append(uids, uid)
-	}
-	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
-
-	out := make([]Verdict, 0, len(uids))
-	for _, uid := range uids {
-		trace := d.traces[uid]
-		if len(trace) == 0 {
+	// Slot order is UID order, so the dense log iterates already
+	// sorted — no per-call key copy + sort.
+	var out []Verdict
+	for s := int32(0); s <= d.maxSlot(); s++ {
+		uid := app.FromSlot(int(s))
+		live, ok := d.summarizeUID(uid)
+		if !ok {
 			continue
 		}
-		live := summarize(uid, trace)
 		sig := d.sigs[uid] // zero value for unknown apps
 		threshold := sig.MeanMW + 3*sig.StdMW + slackMW
 		if alt := 2 * sig.PeakMW; alt > threshold {

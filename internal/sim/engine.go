@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -42,7 +41,11 @@ type Event struct {
 	name string
 	fn   func()
 
-	index    int // heap index; -1 once popped or cancelled
+	// slot locates the event inside the timing wheel (locFree when not
+	// queued, locBatch/locOverflow, or level<<slotBits|index); pos is
+	// its position within that slot's slice, for O(1) swap-delete.
+	slot     int32
+	pos      int32
 	canceled bool
 	// gen increments every time the event returns to its pool; a Handle
 	// captured before that no longer matches and turns into a no-op.
@@ -54,6 +57,7 @@ type Event struct {
 // event's recycle bumps its generation, so a stale Handle's Cancel (or
 // accessors) cannot touch whatever the pooled Event was reused for.
 type Handle struct {
+	eng *Engine
 	ev  *Event
 	gen uint32
 }
@@ -81,25 +85,34 @@ func (h Handle) Name() string {
 
 // Cancel prevents a pending event from firing. Cancelling an event that
 // already fired (or was already cancelled, or an empty handle) is a
-// no-op.
+// no-op. A wheel-resident event is unlinked and recycled immediately —
+// cancellation reclaims the slot rather than leaving a tombstone — so
+// QueueLen drops right away; an event already in the current dispatch
+// batch is marked and reclaimed when the batch reaches it.
 func (h Handle) Cancel() {
-	if h.live() {
-		h.ev.canceled = true
+	if !h.live() || h.ev.canceled || h.ev.slot == locFree {
+		return
 	}
+	h.eng.cancelEvent(h.ev)
 }
 
 // Scheduled reports whether the event is still queued to fire.
 func (h Handle) Scheduled() bool {
-	return h.live() && !h.ev.canceled && h.ev.index >= 0
+	return h.live() && !h.ev.canceled && h.ev.slot != locFree
 }
 
-// EventPool recycles Event allocations. Every engine owns one by
-// default; sequential engines (a fleet worker running one device after
-// another) can share a single pool via SetEventPool so each device
-// reuses its predecessor's arena instead of growing a fresh one for the
-// GC to sweep. A pool is single-goroutine, like the engines it feeds.
+// EventPool recycles Event allocations and timing-wheel arenas. Every
+// engine owns one by default; sequential engines (a fleet worker
+// running one device after another) can share a single pool via
+// SetEventPool so each device reuses its predecessor's arenas instead
+// of growing fresh ones for the GC to sweep. A pool is
+// single-goroutine, like the engines it feeds.
 type EventPool struct {
 	free []*Event
+	// wheels holds recycled timing wheels (see Engine.Recycle) with
+	// their slot, batch and overflow arrays kept warm for the next
+	// engine.
+	wheels []*wheel
 }
 
 // NewEventPool returns an empty pool.
@@ -112,55 +125,39 @@ func (p *EventPool) get() *Event {
 		p.free = p.free[:n-1]
 		return ev
 	}
-	return &Event{}
+	return &Event{slot: locFree, pos: -1}
 }
 
 func (p *EventPool) put(ev *Event) {
 	ev.gen++
 	ev.fn = nil // release the closure now, not at next reuse
 	ev.name = ""
+	ev.slot, ev.pos = locFree, -1
+	ev.canceled = false
 	p.free = append(p.free, ev)
 }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (p *EventPool) getWheel() *wheel {
+	if n := len(p.wheels); n > 0 {
+		w := p.wheels[n-1]
+		p.wheels[n-1] = nil
+		p.wheels = p.wheels[:n-1]
+		return w
 	}
-	return q[i].seq < q[j].seq
+	return newWheel()
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+func (p *EventPool) putWheel(w *wheel) { p.wheels = append(p.wheels, w) }
 
 // Engine is the discrete-event simulation core. It is not safe for
 // concurrent use: the simulated device is single-threaded by design, which
 // is what makes runs reproducible.
 type Engine struct {
-	now     Time
-	queue   eventQueue
+	now Time
+	// wheel is the hierarchical timing-wheel event store, acquired
+	// lazily from the pool on first use so pool-sharing engines reuse a
+	// predecessor's warm arenas (see EventPool and Recycle).
+	wheel   *wheel
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -169,6 +166,10 @@ type Engine struct {
 	// tracers receive every fired event; used by tests, the CLIs'
 	// -trace flags and the telemetry recorder.
 	tracers []*Tracer
+	// tlog, when set, receives every dispatched event inline (see
+	// TraceLog) — the no-callback fast path the telemetry recorder
+	// rides.
+	tlog *TraceLog
 	// tracing is true only while fireTracers runs its callbacks, and
 	// tracingName names the event being traced. Together they let the
 	// run-loop recover guards tell a tracer panic (recovered, converted
@@ -243,10 +244,15 @@ func (e *Engine) Trace(fn func(t Time, name string, queueDepth int)) *Tracer {
 	return tr
 }
 
-// QueueLen reports the number of queued events, including cancelled
-// ones not yet compacted away. It is O(1), unlike Pending, so tracing
-// hot paths can sample it on every event.
-func (e *Engine) QueueLen() int { return len(e.queue) }
+// QueueLen reports the number of live queued events in O(1). Cancelled
+// events are reclaimed immediately by the wheel, so QueueLen and
+// Pending agree.
+func (e *Engine) QueueLen() int {
+	if e.wheel == nil {
+		return 0
+	}
+	return e.wheel.live
+}
 
 // Schedule queues fn to run at instant at. Scheduling in the past (before
 // Now) panics: it always indicates a scenario bug, and silently clamping
@@ -257,12 +263,31 @@ func (e *Engine) Schedule(at Time, name string, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, e.now))
 	}
+	w := e.wheel
+	if w == nil {
+		w = e.pool.getWheel()
+		e.wheel = w
+	}
 	ev := e.pool.get()
 	ev.at, ev.seq, ev.name, ev.fn = at, e.seq, name, fn
 	ev.canceled = false
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return Handle{ev: ev, gen: ev.gen}
+	w.place(ev)
+	w.live++
+	return Handle{eng: e, ev: ev, gen: ev.gen}
+}
+
+// cancelEvent removes a pending event (Handle.Cancel has already
+// checked liveness). Wheel- and overflow-resident events are unlinked
+// and recycled on the spot; batch-resident ones are marked and
+// reclaimed when dispatch reaches them.
+func (e *Engine) cancelEvent(ev *Event) {
+	e.wheel.live--
+	if e.wheel.remove(ev) {
+		e.pool.put(ev)
+		return
+	}
+	ev.canceled = true
 }
 
 // After queues fn to run d after the current instant.
@@ -338,26 +363,33 @@ func (e *Engine) Step() (fired bool) {
 // this path is worth several ns per event, which is exactly the margin
 // the telemetry enabled-overhead gate is fought over.
 func (e *Engine) stepFast() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			e.pool.put(ev)
-			continue
-		}
-		e.now = ev.at
-		if len(e.tracers) > 0 {
-			e.fireTracers(ev.name)
-		}
-		fn := ev.fn
-		// Recycle before dispatch so fn itself (the common self-
-		// rescheduling case: tickers, WiFi tails) reuses this very Event.
-		// The generation bump makes any Handle still pointing here stale,
-		// so Cancel-after-fire stays a no-op even across reuse.
-		e.pool.put(ev)
-		fn()
-		return true
+	if e.wheel == nil {
+		return false
 	}
-	return false
+	ev := e.wheel.pop(e.pool)
+	if ev == nil {
+		return false
+	}
+	e.dispatch(ev)
+	return true
+}
+
+// dispatch advances the clock to a popped event and fires it.
+func (e *Engine) dispatch(ev *Event) {
+	e.now = ev.at
+	if e.tlog != nil {
+		e.tlog.Log(e.now, ev.name, e.wheel.live)
+	}
+	if len(e.tracers) > 0 {
+		e.fireTracers(ev.name)
+	}
+	fn := ev.fn
+	// Recycle before dispatch so fn itself (the common self-
+	// rescheduling case: tickers, WiFi tails) reuses this very Event.
+	// The generation bump makes any Handle still pointing here stale,
+	// so Cancel-after-fire stays a no-op even across reuse.
+	e.pool.put(ev)
+	fn()
 }
 
 // fireTracers invokes every tracer. The range's slice snapshot and the
@@ -370,7 +402,7 @@ func (e *Engine) stepFast() bool {
 func (e *Engine) fireTracers(name string) {
 	e.tracingName = name
 	e.tracing = true
-	depth := len(e.queue)
+	depth := e.wheel.live
 	for _, tr := range e.tracers {
 		if tr.engine == nil { // closed mid-dispatch
 			continue
@@ -424,12 +456,17 @@ func (e *Engine) RunUntil(horizon Time) (err error) {
 		}
 	}()
 	for !e.stopped {
-		next, ok := e.peek()
-		if !ok || next.After(horizon) {
+		// popUntil fuses the horizon peek into the pop: one wheel scan
+		// per event instead of two.
+		var ev *Event
+		if e.wheel != nil {
+			ev = e.wheel.popUntil(horizon, e.pool)
+		}
+		if ev == nil {
 			e.now = horizon
 			return nil
 		}
-		e.stepFast()
+		e.dispatch(ev)
 	}
 	if err := e.TraceErr(); err != nil {
 		return err
@@ -480,26 +517,33 @@ func (e *Engine) Drain(maxEvents int) (err error) {
 	}
 }
 
-// Pending reports the number of live (non-cancelled) queued events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live (non-cancelled) queued events. It
+// is O(1) and identical to QueueLen: the wheel reclaims cancelled
+// events eagerly instead of leaving tombstones.
+func (e *Engine) Pending() int { return e.QueueLen() }
 
 func (e *Engine) peek() (Time, bool) {
-	for e.queue.Len() > 0 {
-		if e.queue[0].canceled {
-			e.pool.put(heap.Pop(&e.queue).(*Event))
-			continue
-		}
-		return e.queue[0].at, true
+	if e.wheel == nil {
+		return 0, false
 	}
-	return 0, false
+	return e.wheel.peekMin()
+}
+
+// Recycle hands the engine's timing wheel — and every event still
+// resident in it — back to the event pool. A fleet worker calls it
+// after harvesting a finished device so the next device built over the
+// same pool (see SetEventPool) starts with warm arenas instead of
+// allocating its own. The engine must not be used afterwards: any
+// outstanding Handles go stale, and a subsequent Schedule would acquire
+// a fresh wheel.
+func (e *Engine) Recycle() {
+	w := e.wheel
+	if w == nil {
+		return
+	}
+	e.wheel = nil
+	w.releaseAll(e.pool)
+	e.pool.putWheel(w)
 }
 
 // Ticker repeatedly schedules a callback at a fixed period.

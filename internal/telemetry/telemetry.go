@@ -22,7 +22,11 @@
 // no-ops on it, so call sites can hook unconditionally; a built-but-
 // disabled Recorder additionally measures the gate cost itself (one
 // branch per emission), which is what the overhead study's "disabled"
-// configuration reports.
+// configuration reports. Kernel event firings — the highest-volume
+// record kind by far — skip the callback layer entirely: an enabled
+// recorder hands the engine a compact sim.TraceLog that dispatch fills
+// inline, and Events() merges it with the general ring by a shared
+// emission sequence.
 package telemetry
 
 import (
@@ -132,12 +136,16 @@ type Recorder struct {
 	w       int    // next ring slot to write; wraps at len(buf)
 	total   uint64 // events ever appended
 
-	// qDepth/qMax shadow the sim.queue_depth{,_max} gauges: the kernel
-	// tracer updates these plain fields (two integer stores on the
-	// recorder's hot cache line) and Metrics() syncs them into the
-	// registry, so the per-event path skips two nil-checked gauge calls.
-	qDepth int
-	qMax   int
+	// simLog holds every kernel event firing: a compact ring the
+	// engine fills inline from its dispatch loop (no callback, no
+	// full-width Event fill — see sim.TraceLog). Its Seq field is the
+	// shared emission sequence for ALL records, kernel or not; Events()
+	// merges the two rings by it. Its Depth/MaxDepth/Total fields
+	// shadow the sim.queue_depth{,_max} gauges and the events_fired
+	// counter, synced into the registry by Metrics().
+	simLog *sim.TraceLog
+	// seqs[i] is the emission sequence of buf[i], parallel to the ring.
+	seqs []uint64
 
 	metrics *Metrics
 
@@ -165,12 +173,12 @@ type Recorder struct {
 	hMW   map[string]*Histogram  // per-component mW distributions
 	hUIDJ map[app.UID]*Histogram // per-UID attributed-J distributions
 
-	// engine/tracer track the instrumented engine so the kernel tracer
-	// can attach lazily: a disabled recorder keeps no callback
-	// registered, so the engine's dispatch path stays on its
-	// no-tracers fast branch (see InstrumentEngine).
-	engine *sim.Engine
-	tracer *sim.Tracer
+	// engine tracks the instrumented engine so the trace log can
+	// attach lazily: a disabled recorder installs no log, so the
+	// engine's dispatch path stays on its untraced fast branch (see
+	// InstrumentEngine).
+	engine   *sim.Engine
+	attached bool
 }
 
 // New builds a Recorder with its own Metrics registry.
@@ -181,12 +189,15 @@ func New(opts Options) *Recorder {
 	}
 	r := &Recorder{
 		enabled: !opts.Disabled,
+		simLog:  &sim.TraceLog{},
 		metrics: NewMetrics(),
 		hMW:     make(map[string]*Histogram),
 		hUIDJ:   make(map[app.UID]*Histogram),
 	}
 	if capacity > 0 {
 		r.buf = make([]Event, capacity)
+		r.seqs = make([]uint64, capacity)
+		r.simLog.Buf = make([]sim.TraceRecord, capacity)
 	}
 	r.cSim = r.metrics.Counter("sim.events_fired")
 	r.gQueue = r.metrics.Gauge("sim.queue_depth")
@@ -221,21 +232,22 @@ func (r *Recorder) SetEnabled(v bool) {
 	}
 }
 
-// attach registers the kernel tracer on the instrumented engine. The
-// callback is recordSimEvent itself as a method value — no closure, no
-// QueueLen round-trip; the engine hands the queue depth over.
+// attach installs the trace log on the instrumented engine: dispatch
+// fills it inline with a few plain stores, so there is no per-event
+// callback at all on the hottest record path.
 func (r *Recorder) attach() {
-	if r.engine == nil || r.tracer != nil {
+	if r.engine == nil || r.attached {
 		return
 	}
-	r.tracer = r.engine.Trace(r.recordSimEvent)
+	r.engine.SetTraceLog(r.simLog)
+	r.attached = true
 }
 
-// detach unregisters the kernel tracer.
+// detach removes the trace log from the engine.
 func (r *Recorder) detach() {
-	if r.tracer != nil {
-		r.tracer.Close()
-		r.tracer = nil
+	if r.attached {
+		r.engine.SetTraceLog(nil)
+		r.attached = false
 	}
 }
 
@@ -246,16 +258,21 @@ func (r *Recorder) Metrics() *Metrics {
 	if r == nil {
 		return nil
 	}
-	r.gQueue.Set(float64(r.qDepth))
-	r.gQueueMax.Set(float64(r.qMax))
+	r.cSim.v = float64(r.simLog.Total)
+	r.gQueue.Set(float64(r.simLog.Depth))
+	r.gQueueMax.Set(float64(r.simLog.MaxDepth))
 	r.gDropped.Set(float64(r.Dropped()))
 	return r.metrics
 }
 
 // SetTap installs fn as the live event tap: every subsequently recorded
-// event is handed to fn by value, immediately after it lands (even when
-// the ring itself is disabled). One tap at a time — the observability
-// watchdog owns it; pass nil to remove. Safe on nil (no-op).
+// non-kernel event is handed to fn by value, immediately after it lands
+// (even when the ring itself is disabled). KindSimEvent firings logged
+// by an instrumented engine bypass the tap — they land in the inline
+// trace log, whose whole point is to skip per-event callbacks; no tap
+// consumer reads them (the watchdog folds attributions and battery
+// updates only). One tap at a time — the observability watchdog owns
+// it; pass nil to remove. Safe on nil (no-op).
 func (r *Recorder) SetTap(fn func(Event)) {
 	if r == nil {
 		return
@@ -273,12 +290,14 @@ func (r *Recorder) SetTap(fn func(Event)) {
 // recorder-owned scratch slot keeps the call sites' single fill shape.
 func (r *Recorder) slot() *Event {
 	r.total++
+	r.simLog.Seq++ // shared emission sequence across both rings
 	if len(r.buf) == 0 {
 		if r.tap != nil {
 			return &r.scratch
 		}
 		return nil
 	}
+	r.seqs[r.w] = r.simLog.Seq
 	ev := &r.buf[r.w]
 	r.w++
 	if r.w == len(r.buf) {
@@ -296,35 +315,14 @@ func (r *Recorder) emit(ev *Event) {
 }
 
 // RecordSimEvent records one kernel event firing and samples the queue
-// depth gauges.
+// depth gauges. An instrumented engine never calls this — it fills the
+// trace log inline from dispatch; this entry point serves manual
+// recording (tests, replay tooling) and lands in the same log.
 func (r *Recorder) RecordSimEvent(t sim.Time, name string, queueDepth int) {
 	if r == nil || !r.enabled {
 		return
 	}
-	r.recordSimEvent(t, name, queueDepth)
-}
-
-// recordSimEvent is RecordSimEvent past the gate. The kernel tracer
-// calls it directly: the tracer is only registered while the recorder
-// is enabled (attach/detach track SetEnabled), so re-checking the gate
-// on every fired event would buy nothing on the hottest record path.
-func (r *Recorder) recordSimEvent(t sim.Time, name string, queueDepth int) {
-	r.cSim.Inc()
-	r.qDepth = queueDepth
-	if queueDepth > r.qMax {
-		r.qMax = queueDepth
-	}
-	if ev := r.slot(); ev != nil {
-		ev.T = t
-		ev.Kind = KindSimEvent
-		ev.Name = name
-		ev.UID = 0
-		ev.From = ""
-		ev.To = ""
-		ev.V0 = float64(queueDepth)
-		ev.V1 = 0
-		r.emit(ev)
-	}
+	r.simLog.Log(t, name, queueDepth)
 }
 
 // RecordLifecycle records an activity lifecycle transition.
@@ -472,56 +470,81 @@ func (r *Recorder) ObserveComponentMW(component string, mw float64) {
 }
 
 // Total reports how many events were ever recorded (including any that
-// have since been overwritten).
+// have since been overwritten), kernel firings included.
 func (r *Recorder) Total() uint64 {
 	if r == nil {
 		return 0
 	}
-	return r.total
+	return r.total + r.simLog.Total
 }
 
-// Dropped reports how many events the ring overwrote.
+// Dropped reports how many events the rings overwrote.
 func (r *Recorder) Dropped() uint64 {
 	if r == nil {
 		return 0
 	}
+	d := r.simLog.Dropped()
 	if n := uint64(len(r.buf)); r.total > n {
-		return r.total - n
+		d += r.total - n
 	}
-	return 0
+	return d
 }
 
-// Events returns the retained events, oldest first. The slice is a copy.
+// Events returns the retained events, oldest first: the kernel trace
+// log and the general ring merged back into global recording order by
+// the shared emission sequence. The slice is a copy.
 func (r *Recorder) Events() []Event {
-	if r == nil || len(r.buf) == 0 || r.total == 0 {
+	if r == nil || r.total+r.simLog.Total == 0 {
 		return nil
 	}
-	n := uint64(len(r.buf))
-	if r.total <= n {
-		out := make([]Event, r.total)
-		copy(out, r.buf[:r.total])
-		return out
+	// The general ring's retained events with their sequences, oldest
+	// first (the ring and seqs rotate together).
+	var evs []Event
+	var seqs []uint64
+	if n := uint64(len(r.buf)); n > 0 && r.total > 0 {
+		if r.total <= n {
+			evs = r.buf[:r.total:r.total]
+			seqs = r.seqs[:r.total]
+		} else {
+			evs = make([]Event, 0, n)
+			evs = append(evs, r.buf[r.w:]...) // r.w is the oldest slot once wrapped
+			evs = append(evs, r.buf[:r.w]...)
+			seqs = make([]uint64, 0, n)
+			seqs = append(seqs, r.seqs[r.w:]...)
+			seqs = append(seqs, r.seqs[:r.w]...)
+		}
 	}
-	out := make([]Event, 0, n)
-	out = append(out, r.buf[r.w:]...) // r.w is the oldest slot once wrapped
-	out = append(out, r.buf[:r.w]...)
+	recs := r.simLog.Records()
+	out := make([]Event, 0, len(evs)+len(recs))
+	i, j := 0, 0
+	for i < len(evs) || j < len(recs) {
+		if j >= len(recs) || (i < len(evs) && seqs[i] < recs[j].Seq) {
+			out = append(out, evs[i])
+			i++
+			continue
+		}
+		rec := recs[j]
+		j++
+		out = append(out, Event{T: rec.T, Kind: KindSimEvent, Name: rec.Name, V0: float64(rec.Depth)})
+	}
 	return out
 }
 
-// InstrumentEngine wires r to e: every fired kernel event becomes a
-// KindSimEvent record plus the events-fired counter and queue-depth
-// gauges. The tracer attaches only while the recorder is enabled — a
-// disabled recorder leaves the engine's tracer list empty, so event
-// dispatch keeps its no-tracers fast path and SetEnabled(true) attaches
-// retroactively. Returns the live tracer handle (nil when either
-// argument is nil or the recorder is currently disabled).
-func InstrumentEngine(e *sim.Engine, r *Recorder) *sim.Tracer {
+// InstrumentEngine wires r to e: every fired kernel event lands in the
+// recorder's trace log (a KindSimEvent record in Events()) and feeds
+// the events-fired counter and queue-depth gauges. The log attaches
+// only while the recorder is enabled — a disabled recorder leaves the
+// engine untraced, so event dispatch keeps its fast path and
+// SetEnabled(true) attaches retroactively. Reports whether the log is
+// attached now (false when either argument is nil or the recorder is
+// currently disabled).
+func InstrumentEngine(e *sim.Engine, r *Recorder) bool {
 	if e == nil || r == nil {
-		return nil
+		return false
 	}
 	r.engine = e
 	if r.enabled {
 		r.attach()
 	}
-	return r.tracer
+	return r.attached
 }

@@ -329,9 +329,8 @@ func TestWriteTextLegacyFormat(t *testing.T) {
 func TestInstrumentEngineRecordsKernelEvents(t *testing.T) {
 	e := sim.NewEngine(1)
 	r := New(Options{})
-	tr := InstrumentEngine(e, r)
-	if tr == nil {
-		t.Fatal("InstrumentEngine returned nil tracer")
+	if !InstrumentEngine(e, r) {
+		t.Fatal("InstrumentEngine did not attach the trace log")
 	}
 	e.Schedule(sim.Second, "a", func() {})
 	e.Schedule(2*sim.Second, "b", func() {})
@@ -345,24 +344,24 @@ func TestInstrumentEngineRecordsKernelEvents(t *testing.T) {
 	if evs[0].Kind != KindSimEvent || evs[0].Name != "a" || evs[0].T != sim.Second {
 		t.Fatalf("first event = %+v", evs[0])
 	}
-	tr.Close()
+	r.SetEnabled(false)
 	e.Schedule(3*sim.Second, "c", func() {})
 	if err := e.Drain(10); err != nil {
 		t.Fatal(err)
 	}
 	if r.Total() != 2 {
-		t.Fatal("closed tracer still recording")
+		t.Fatal("detached trace log still recording")
 	}
-	if InstrumentEngine(nil, r) != nil || InstrumentEngine(e, nil) != nil {
-		t.Fatal("InstrumentEngine must return nil for nil arguments")
+	if InstrumentEngine(nil, r) || InstrumentEngine(e, nil) {
+		t.Fatal("InstrumentEngine must report false for nil arguments")
 	}
 }
 
 func TestDisabledRecorderLeavesEngineUntraced(t *testing.T) {
 	e := sim.NewEngine(1)
 	r := New(Options{Disabled: true})
-	if tr := InstrumentEngine(e, r); tr != nil {
-		t.Fatal("disabled recorder attached a tracer")
+	if InstrumentEngine(e, r) {
+		t.Fatal("disabled recorder attached a trace log")
 	}
 	e.Schedule(sim.Second, "a", func() {})
 	if err := e.Drain(10); err != nil {
