@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench fleet-mem telemetry-bench check-bench obsv-bench obsv-smoke corpus-bench corpus-smoke jobs-smoke jobs-bench fuzz-short fuzz-corpus-short clean
+.PHONY: all build test test-checked race vet fmt-check bench bench-gate fleet-bench fleet-mem telemetry-bench check-bench obsv-bench obsv-smoke trace-bench trace-smoke corpus-bench corpus-smoke jobs-smoke jobs-bench fuzz-short fuzz-corpus-short clean
 
 all: build test
 
@@ -22,7 +22,7 @@ test-checked:
 # cleanliness of internal/fleet (and of the packages that drive it) is
 # an acceptance gate for every PR that touches concurrency.
 race:
-	$(GO) test -race -count=1 ./internal/fleet/... ./internal/telemetry/... ./internal/experiments/... ./internal/obsv/... ./internal/scenario/... ./internal/corpus/... ./internal/jobs/... ./internal/serveutil/... .
+	$(GO) test -race -count=1 ./internal/fleet/... ./internal/telemetry/... ./internal/experiments/... ./internal/obsv/... ./internal/scenario/... ./internal/corpus/... ./internal/jobs/... ./internal/serveutil/... ./internal/trace/... .
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +74,21 @@ obsv-bench:
 obsv-smoke:
 	$(GO) test -run 'TestServerSmoke|TestServerFleetEndpoints' -count=1 -v ./internal/obsv
 	$(GO) test -run 'TestServeFlag' -count=1 -v ./cmd/...
+
+# Regenerate the BENCH_trace.json causal-span tracing overhead artifact
+# (and enforce the trace-off <= 1% / every-device-traced <= 10% gates).
+trace-bench:
+	$(GO) run ./cmd/benchsuite -trace
+
+# End-to-end smoke of the causal span subsystem: one traced fleet job
+# over HTTP must yield a trace.json artifact that parses as Chrome
+# trace JSON and forms a single rooted span tree whose root threads
+# through the job status, the live /trace feed, and the /metrics RED
+# exemplars — plus the stalled-subscriber drop test on the live trace
+# stream.
+trace-smoke:
+	$(GO) test -run 'TestTraceSmoke|TestGoldenWorkerIndependence' -count=1 -v ./internal/jobs
+	$(GO) test -race -run 'TestTraceStreamStalledSubscriber' -count=1 ./internal/obsv
 
 # Regenerate the BENCH_corpus.json scenario-corpus artifact: every
 # (archetype x attack-variant) cell over 40 seeded reps, and enforce the

@@ -132,8 +132,19 @@ func run(args []string) error {
 
 	err = runExperiments(list, exp, rec, *trace, *traceOut, *eventsOut, *metricsOut)
 	if err == nil {
+		var wstats obsv.WindowStats
 		for _, wd := range watchdogs {
 			wd.Finish()
+			st := wd.Stats()
+			wstats.Total += st.Total
+			wstats.Interactive += st.Interactive
+			wstats.Judged += st.Judged
+			wstats.Flagged += st.Flagged
+		}
+		if srv != nil && len(watchdogs) > 0 {
+			// Surface the summed window counters as /metrics gauges —
+			// the Stats() satellite of the observability plane.
+			srv.PublishWindowStats(wstats)
 		}
 		err = exportFlames(flames, *flameOut, *flameHTML, *exp)
 	}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/service"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Core device types.
@@ -362,3 +363,40 @@ func NewJobManager(opts JobManagerOptions) *JobManager { return jobs.NewManager(
 // observability server, wires its counters into /metrics, and closes
 // the manager on server shutdown.
 var AttachJobs = jobs.Attach
+
+// Causal tracing API: deterministic span trees across the whole stack
+// (HTTP request → job → fleet shard → device → engine phases). Span
+// IDs derive from splitmix64 seed chains rooted at a job's content
+// address, so the exported tree is byte-identical across worker and
+// shard counts; RED request metrics carry root span IDs as exemplars.
+type (
+	// Span is one unit of causal work (virtual-ns window, derived ID).
+	Span = trace.Span
+	// SpanID is a 64-bit derived span identifier (hex in JSON).
+	SpanID = trace.SpanID
+	// Tracer assembles one operation's span tree.
+	Tracer = trace.Tracer
+	// TraceConfig tunes sampling (SampleRate, Disabled).
+	TraceConfig = trace.Config
+	// TraceSummary is the live wall-clock view of one finished trace.
+	TraceSummary = trace.Summary
+	// FleetTrace threads a tracer through a fleet run (fleet.Spec.Trace).
+	FleetTrace = trace.FleetTrace
+	// DeviceTracer collects one sampled device's engine-phase spans.
+	DeviceTracer = trace.DeviceTracer
+	// REDMetrics aggregates request rate/errors/duration with exemplars.
+	REDMetrics = trace.RED
+)
+
+// NewTracer builds a tracer rooted at a seed string (a job's content
+// address); rootName labels the request span.
+func NewTracer(seed, rootName string, cfg TraceConfig) *Tracer {
+	return trace.New(seed, rootName, cfg)
+}
+
+// WriteChromeTrace exports a span tree as Chrome trace-event JSON
+// (virtual-time only; loadable in chrome://tracing or Perfetto).
+var WriteChromeTrace = trace.WriteChrome
+
+// TraceRootID derives an operation's root span ID from its seed string.
+var TraceRootID = trace.RootID

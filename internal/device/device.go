@@ -29,6 +29,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/surfaceflinger"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config controls device construction. The zero value is usable: it
@@ -77,6 +78,12 @@ type Config struct {
 	// obsv.NewLogHandler for a deterministic, virtual-time handler; nil
 	// keeps the device silent (every log site is nil-checked).
 	Logger *slog.Logger
+	// Trace, when non-nil, collects this device's engine-phase spans
+	// (meter flushes via the sink below; watchdog windows and kernel
+	// dispatch batches via their own layers). Like a telemetry
+	// recorder it is single-goroutine: one per device, handed out by
+	// trace.FleetTrace for sampled indices only.
+	Trace *trace.DeviceTracer
 }
 
 // Device is a fully wired simulated smartphone.
@@ -114,6 +121,9 @@ type Device struct {
 	// Log is the structured logger from Config.Logger, nil when the
 	// device runs silent.
 	Log *slog.Logger
+	// Trace is the span tracer from Config.Trace, nil when the device
+	// runs untraced.
+	Trace *trace.DeviceTracer
 }
 
 // foregroundAdapter feeds foreground changes into the accountant,
@@ -222,6 +232,12 @@ func New(cfg Config) (*Device, error) {
 		am.SetTelemetry(cfg.Telemetry)
 		acc.SetTelemetry(cfg.Telemetry)
 	}
+	if cfg.Trace != nil {
+		// The tracer's sink reads only the interval endpoints and energy
+		// totals, so its position among the sinks is immaterial; it sits
+		// with the other observers, before the checker.
+		meter.AddSink(cfg.Trace)
+	}
 
 	dev := &Device{
 		Engine:     engine,
@@ -242,6 +258,7 @@ func New(cfg Config) (*Device, error) {
 		Android:    acc,
 		Telemetry:  cfg.Telemetry,
 		Log:        cfg.Logger,
+		Trace:      cfg.Trace,
 	}
 
 	if cfg.EAndroid {

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/accounting"
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/obsv"
+	"repro/internal/powersig"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Trace overhead study — the cost of the causal span subsystem on a
+// traced fleet workload (stealth attack + 1 Hz detector + watchdog per
+// device, telemetry on throughout so the only variable is tracing):
+//
+//	baseline: fleet.Spec.Trace nil — the untraced path, one nil check
+//	          per device and per watchdog window
+//	disabled: a Config{Disabled:true} tracer threaded through — the
+//	          "compiled in, turned off" path every untraced job pays
+//	sampled:  head sampling at 1-in-Devices (≈1 device traced)
+//	full:     SampleRate 1 — every device carries a DeviceTracer, every
+//	          meter flush / watchdog window / kernel batch becomes a span
+//
+// The hard gates ride on disabled (≤1%, paired interquartile-mean
+// statistic — see ObsvOverheadStudy for why a 1% gate needs pairing)
+// and full (≤10%, min-over-reps).
+
+// TraceOverheadHorizon is the virtual horizon each device simulates per
+// rep: long enough that a rep's wall time dwarfs scheduler noise.
+const TraceOverheadHorizon = 8 * time.Hour
+
+// TraceOverheadDevices is the per-rep fleet size. Small and serial
+// (Workers=1): the study measures per-device tracing cost, not pool
+// scheduling.
+const TraceOverheadDevices = 4
+
+// DefaultTraceReps is the default repetition count; the gate pair gets
+// five paired draws per rep.
+const DefaultTraceReps = 8
+
+// TraceOverheadResult holds the measured floors plus the last full
+// run's span inventory.
+type TraceOverheadResult struct {
+	Reps       int
+	BaselineMS float64
+	DisabledMS float64
+	SampledMS  float64
+	FullMS     float64
+	// DisabledPct is the gate statistic: the interquartile mean over
+	// back-to-back (baseline, disabled) pairs of the pair's wall-time
+	// ratio, minus one, in percent.
+	DisabledPct float64
+	// Spans and Dropped come from the last full run (deterministic:
+	// seeded, serial).
+	Spans   int
+	Dropped uint64
+}
+
+// DisabledOverheadPct is the tracing-off overhead vs baseline, percent
+// (the paired statistic).
+func (r *TraceOverheadResult) DisabledOverheadPct() float64 { return r.DisabledPct }
+
+// SampledOverheadPct is the default-sampling overhead vs baseline,
+// percent (min-over-reps).
+func (r *TraceOverheadResult) SampledOverheadPct() float64 {
+	return overheadPct(r.SampledMS, r.BaselineMS)
+}
+
+// FullOverheadPct is the every-device-traced overhead vs baseline,
+// percent (min-over-reps).
+func (r *TraceOverheadResult) FullOverheadPct() float64 {
+	return overheadPct(r.FullMS, r.BaselineMS)
+}
+
+// Render prints the study.
+func (r *TraceOverheadResult) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Trace overhead study ===\n")
+	fmt.Fprintf(&b, "workload: %d-device fleet, stealth attack + 1 Hz detector + watchdog, %v horizon, %d reps (paired gate; min wall times)\n",
+		TraceOverheadDevices, TraceOverheadHorizon, r.Reps)
+	fmt.Fprintf(&b, "  baseline (no tracer):      %10.3f ms\n", r.BaselineMS)
+	fmt.Fprintf(&b, "  trace off (disabled):      %10.3f ms  (%+.2f%%)\n", r.DisabledMS, r.DisabledOverheadPct())
+	fmt.Fprintf(&b, "  trace sampled (1/%d):       %10.3f ms  (%+.2f%%)\n", TraceOverheadDevices, r.SampledMS, r.SampledOverheadPct())
+	fmt.Fprintf(&b, "  trace full (every device): %10.3f ms  (%+.2f%%)\n", r.FullMS, r.FullOverheadPct())
+	fmt.Fprintf(&b, "  last full run: %d spans, %d dropped\n", r.Spans, r.Dropped)
+	return b.String()
+}
+
+// traceWorkload runs one rep. mode: 0 baseline, 1 disabled, 2 sampled,
+// 3 full. Everything but the tracer is held constant — telemetry and
+// the watchdog stay on in every mode so the measured delta is tracing
+// alone.
+func traceWorkload(mode int, res *TraceOverheadResult) error {
+	var tr *trace.Tracer
+	switch mode {
+	case 1:
+		tr = trace.New("trace-overhead", "bench", trace.Config{Disabled: true})
+	case 2:
+		tr = trace.New("trace-overhead", "bench", trace.Config{SampleRate: TraceOverheadDevices})
+	case 3:
+		tr = trace.New("trace-overhead", "bench", trace.Config{SampleRate: 1})
+	}
+	var ft *trace.FleetTrace
+	if tr != nil {
+		ft = tr.Fleet(TraceOverheadDevices)
+	}
+	fr, err := fleet.Run(context.Background(), fleet.Spec{
+		Devices:   TraceOverheadDevices,
+		Workers:   1,
+		Seed:      42,
+		Config:    worldCfg(accounting.BatteryStats),
+		Telemetry: &telemetry.Options{},
+		Trace:     ft,
+		Scenario: func(i int, dev *device.Device) error {
+			w, err := scenario.Populate(dev)
+			if err != nil {
+				return err
+			}
+			wd, err := obsv.NewWatchdog(dev, obsv.WatchdogOptions{})
+			if err != nil {
+				return err
+			}
+			wd.Start()
+			det, err := powersig.NewDetector(dev.Engine, dev.Meter, dev.Packages, 0)
+			if err != nil {
+				return err
+			}
+			det.Start()
+			if err := w.ForceScreenOn(); err != nil {
+				return err
+			}
+			if err := w.StealthAutoLaunch(60 * time.Second); err != nil {
+				return err
+			}
+			if err := dev.Run(TraceOverheadHorizon); err != nil {
+				return err
+			}
+			wd.Finish()
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for _, f := range fr.Summary.Failures {
+		return fmt.Errorf("trace study device %d: %s", f.Index, f.Err)
+	}
+	if mode == 3 {
+		tr.Finish()
+		res.Spans = tr.SpanCount()
+		res.Dropped = tr.Dropped()
+	}
+	return nil
+}
+
+// TraceOverheadStudy measures the tracing cost over reps repetitions
+// (0 means DefaultTraceReps). The gate pair (baseline vs disabled) is
+// timed first in adjacent alternating pairs — the paired protocol from
+// ObsvOverheadStudy — and the sampled/full configurations afterwards
+// with min-over-reps wall times.
+func TraceOverheadStudy(reps int) (*TraceOverheadResult, error) {
+	if reps <= 0 {
+		reps = DefaultTraceReps
+	}
+	res := &TraceOverheadResult{Reps: reps}
+	gcPct := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPct)
+	if err := traceWorkload(0, res); err != nil { // untimed warmup
+		return nil, err
+	}
+	gateDsts := []*float64{&res.BaselineMS, &res.DisabledMS}
+	ratios := make([]float64, 0, 5*reps)
+	for rep := 0; rep < 5*reps; rep++ {
+		var ms [2]float64
+		for k := 0; k < len(gateDsts); k++ {
+			mode := (rep + k) % len(gateDsts)
+			runtime.GC()
+			start := time.Now()
+			if err := traceWorkload(mode, res); err != nil {
+				return nil, err
+			}
+			d := float64(time.Since(start).Microseconds()) / 1000
+			ms[mode] = d
+			if dst := gateDsts[mode]; *dst == 0 || d < *dst {
+				*dst = d
+			}
+		}
+		ratios = append(ratios, ms[1]/ms[0])
+	}
+	sort.Float64s(ratios)
+	mid := ratios[len(ratios)/4 : len(ratios)-len(ratios)/4]
+	var sum float64
+	for _, r := range mid {
+		sum += r
+	}
+	res.DisabledPct = (sum/float64(len(mid)) - 1) * 100
+	for mode := 2; mode <= 3; mode++ {
+		dst := &res.SampledMS
+		if mode == 3 {
+			dst = &res.FullMS
+		}
+		for rep := 0; rep < reps; rep++ {
+			runtime.GC()
+			start := time.Now()
+			if err := traceWorkload(mode, res); err != nil {
+				return nil, err
+			}
+			if d := float64(time.Since(start).Microseconds()) / 1000; *dst == 0 || d < *dst {
+				*dst = d
+			}
+		}
+	}
+	return res, nil
+}

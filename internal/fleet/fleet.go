@@ -34,6 +34,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Spec describes one fleet run: N devices built from a common template,
@@ -107,6 +108,15 @@ type Spec struct {
 	// device (Warn on failure). Like Progress it is called from worker
 	// goroutines; obsv.NewLogHandler serializes writes internally.
 	Logger *slog.Logger
+	// Trace, when non-nil, threads causal span collection through the
+	// run: head-sampled devices get a single-goroutine DeviceTracer
+	// (wired into the device as Config.Trace), every device reports
+	// its final virtual instant for the shard/job rollup, and kernel
+	// dispatch batches are folded into spans from the telemetry trace
+	// log after each device finishes. The assembled tree is a pure
+	// function of the fleet's seed chain and per-device virtual
+	// behaviour — byte-identical across workers × shards.
+	Trace *trace.FleetTrace
 }
 
 // Progress is one device-completion tick of a fleet run: the live feed
@@ -450,6 +460,8 @@ func runDevice(ctx context.Context, spec Spec, i int, pool *sim.EventPool) (res 
 		// independent of worker scheduling.
 		cfg.Telemetry = telemetry.New(*spec.Telemetry)
 	}
+	dt := spec.Trace.Device(i) // nil for unsampled indices
+	cfg.Trace = dt
 	dev, err := device.New(cfg)
 	if err != nil {
 		res.Err = fmt.Errorf("fleet: device %d: %w", i, err)
@@ -473,6 +485,17 @@ func runDevice(ctx context.Context, spec Spec, i int, pool *sim.EventPool) (res 
 	res.Violations = dev.FinishChecks()
 	if dev.Telemetry != nil {
 		res.Metrics = dev.Telemetry.Metrics().Snapshot()
+	}
+	if spec.Trace != nil {
+		// Fold same-instant wheel dispatch runs from the kernel trace
+		// log into batch spans. The fold lives here — not in the trace
+		// package — so trace never imports telemetry.
+		if dt != nil && dev.Telemetry != nil {
+			dev.Telemetry.ForEachKernelBatch(func(b telemetry.KernelBatch) {
+				dt.Phase(trace.PhaseKernelBatch, b.T, b.T, float64(b.N))
+			})
+		}
+		spec.Trace.Finish(i, dt, res.SimEnd)
 	}
 	if spec.Collect != nil {
 		custom, err := spec.Collect(i, dev)

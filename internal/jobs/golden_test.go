@@ -151,7 +151,7 @@ func TestScenarioArtifactSet(t *testing.T) {
 	m := NewManager(Options{Runners: 1})
 	defer m.Close()
 	a, _ := submitAndWait(t, m, cheapSpec(3)).Artifacts()
-	want := []string{"flame.html", "flame.txt", "metrics.prom", "summary.json", "watchdog.json"}
+	want := []string{"flame.html", "flame.txt", "metrics.prom", "summary.json", "trace.json", "watchdog.json"}
 	got := a.Names()
 	if len(got) != len(want) {
 		t.Fatalf("artifacts = %v, want %v", got, want)

@@ -1,19 +1,71 @@
 package jobs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obsv"
+	"repro/internal/trace"
 )
 
 // maxSpecBytes bounds a POST /jobs body; a job spec is a handful of
 // scalar fields, so anything near this limit is garbage.
 const maxSpecBytes = 1 << 20
+
+// redInfo carries per-request RED annotations (job kind, exemplar
+// span) from a handler back to the observing middleware via context.
+type redInfo struct {
+	kind string
+	ex   trace.SpanID
+}
+
+type redCtxKey struct{}
+
+// annotate fills the request's RED info, if the middleware installed
+// one.
+func annotate(r *http.Request, kind string, ex trace.SpanID) {
+	if info, ok := r.Context().Value(redCtxKey{}).(*redInfo); ok {
+		info.kind = kind
+		info.ex = ex
+	}
+}
+
+// statusWriter captures the response status for RED observation. It
+// forwards Flush so SSE streaming keeps working under the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observe wraps a handler with RED collection: one rate/error/duration
+// observation per request under the endpoint's pattern label, with the
+// handler's annotations (job kind, exemplar span ID) attached.
+func observe(m *Manager, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		info := &redInfo{}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(context.WithValue(r.Context(), redCtxKey{}, info)))
+		m.red.Observe(endpoint, info.kind, sw.code, time.Since(start), info.ex)
+	}
+}
 
 // Register mounts the jobs API onto mux using Go 1.22 method+wildcard
 // patterns:
@@ -26,13 +78,14 @@ const maxSpecBytes = 1 << 20
 //	GET    /jobs/{id}/artifacts       sorted artifact name list
 //	GET    /jobs/{id}/artifacts/{name...}  one artifact's bytes
 func Register(mux *http.ServeMux, m *Manager) {
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /jobs", observe(m, "POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
 		body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
 		if err := json.NewDecoder(body).Decode(&spec); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
 			return
 		}
+		annotate(r, spec.Kind, 0)
 		j, err := m.Submit(spec)
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -50,30 +103,32 @@ func Register(mux *http.ServeMux, m *Manager) {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		annotate(r, j.Spec.Kind, j.tr.Root())
 		code := http.StatusAccepted
 		if j.Status().Cached {
 			code = http.StatusOK
 		}
 		writeJSON(w, code, j.Status())
-	})
+	}))
 
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /jobs", observe(m, "GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		list := m.List()
 		out := make([]Status, len(list))
 		for i, j := range list {
 			out[i] = j.Status()
 		}
 		writeJSON(w, http.StatusOK, out)
-	})
+	}))
 
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /jobs/{id}", observe(m, "GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Get(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, "no such job")
 			return
 		}
+		annotate(r, j.Spec.Kind, j.tr.Root())
 		writeJSON(w, http.StatusOK, j.Status())
-	})
+	}))
 
 	cancel := func(w http.ResponseWriter, r *http.Request) {
 		if !m.Cancel(r.PathValue("id")) {
@@ -82,22 +137,23 @@ func Register(mux *http.ServeMux, m *Manager) {
 		}
 		w.WriteHeader(http.StatusAccepted)
 	}
-	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
-	mux.HandleFunc("DELETE /jobs/{id}", cancel)
+	mux.HandleFunc("POST /jobs/{id}/cancel", observe(m, "POST /jobs/{id}/cancel", cancel))
+	mux.HandleFunc("DELETE /jobs/{id}", observe(m, "DELETE /jobs/{id}", cancel))
 
-	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /jobs/{id}/events", observe(m, "GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Get(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, "no such job")
 			return
 		}
+		annotate(r, j.Spec.Kind, j.tr.Root())
 		j.mu.Lock()
 		initial := j.stateFrameLocked()
 		j.mu.Unlock()
 		j.events.Serve(w, r, []string{initial})
-	})
+	}))
 
-	mux.HandleFunc("GET /jobs/{id}/artifacts", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /jobs/{id}/artifacts", observe(m, "GET /jobs/{id}/artifacts", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Get(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, "no such job")
@@ -108,10 +164,11 @@ func Register(mux *http.ServeMux, m *Manager) {
 			httpError(w, http.StatusConflict, "job not done")
 			return
 		}
+		annotate(r, j.Spec.Kind, j.tr.Root())
 		writeJSON(w, http.StatusOK, arts.Names())
-	})
+	}))
 
-	mux.HandleFunc("GET /jobs/{id}/artifacts/{name...}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /jobs/{id}/artifacts/{name...}", observe(m, "GET /jobs/{id}/artifacts/{name}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Get(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, "no such job")
@@ -128,10 +185,11 @@ func Register(mux *http.ServeMux, m *Manager) {
 			httpError(w, http.StatusNotFound, "no such artifact")
 			return
 		}
+		annotate(r, j.Spec.Kind, j.tr.Root())
 		w.Header().Set("Content-Type", contentType(name))
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(b)
-	})
+	}))
 }
 
 // Attach wires a manager into an obsv server: jobs routes on its mux,
@@ -143,6 +201,8 @@ func Attach(srv *obsv.Server, m *Manager) {
 	srv.Mount("/jobs", mux)
 	srv.Mount("/jobs/", mux)
 	srv.AddMetricsSource(m.Snapshot)
+	srv.AddTextSource(m.red.WritePrometheus)
+	m.SetTracePublisher(srv.PublishTrace)
 	srv.OnShutdown(m.Close)
 }
 

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/obsv"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue has no
@@ -32,6 +34,18 @@ type Options struct {
 	CacheBytes int64
 	// Limits are the per-job resource bounds.
 	Limits Limits
+	// Logger, when non-nil, receives structured lifecycle logs (accept,
+	// cache hit, reject, start, finish, cancel) — the same funnel
+	// device.Config.Logger uses. Nil keeps the manager silent.
+	Logger *slog.Logger
+	// TraceSampleRate head-samples 1 in N devices for engine-phase
+	// tracing (1 = every device, 0 = trace.DefaultSampleRate). It is
+	// server configuration, uniform across jobs, so cached artifacts
+	// stay consistent with fresh runs on the same server.
+	TraceSampleRate int
+	// TraceDisabled turns per-device tracing off entirely; control-
+	// plane spans (request/job/shard) are still assembled.
+	TraceDisabled bool
 }
 
 // Default manager options.
@@ -78,6 +92,11 @@ type Job struct {
 	cancel context.CancelFunc
 	jctx   context.Context
 
+	// tr is the job's causal tracer, rooted at the spec's content
+	// address; queuedAt anchors the queued lifecycle stage.
+	tr       *trace.Tracer
+	queuedAt time.Time
+
 	mu       sync.Mutex
 	state    string
 	cached   bool
@@ -90,17 +109,23 @@ type Job struct {
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.doneCh }
 
+// Trace returns the job's causal tracer.
+func (j *Job) Trace() *trace.Tracer { return j.tr }
+
 // Events is the job's SSE broker; progress and state frames are
 // published here.
 func (j *Job) Events() *obsv.SSEBroker { return j.events }
 
 // Status is the JSON view of a job served at /jobs/{id}.
 type Status struct {
-	ID        string   `json:"id"`
-	Key       string   `json:"key"`
-	Spec      Spec     `json:"spec"`
-	State     string   `json:"state"`
-	Cached    bool     `json:"cached"`
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	Spec   Spec   `json:"spec"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	// Trace is the job's root span ID (hex) — the handle /metrics
+	// exemplars and the trace.json artifact share.
+	Trace     string   `json:"trace,omitempty"`
 	Error     string   `json:"error,omitempty"`
 	Done      int      `json:"done"`
 	Total     int      `json:"total"`
@@ -117,6 +142,7 @@ func (j *Job) Status() Status {
 		Spec:      j.Spec,
 		State:     j.state,
 		Cached:    j.cached,
+		Trace:     j.tr.Root().String(),
 		Error:     j.errMsg,
 		Done:      j.done,
 		Total:     j.total,
@@ -156,6 +182,8 @@ func (j *Job) publishState() {
 // contract, so the manager builds a fresh Snapshot per scrape instead).
 type Manager struct {
 	opts Options
+	log  *slog.Logger
+	red  *trace.RED
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -176,6 +204,14 @@ type Manager struct {
 	rejected  int64
 	running   int
 
+	// Watchdog window counters summed across completed fleet jobs —
+	// the per-device Watchdog.Stats() surfaced on /metrics.
+	wdStats obsv.WindowStats
+
+	// pubTrace, when set (Attach wires it to obsv.Server.PublishTrace),
+	// receives every finished job's trace summary.
+	pubTrace func(*trace.Summary)
+
 	// wallHist is a ring of the most recent executed jobs' wall times;
 	// RetryAfter turns its rolling mean into an honest 429 hint.
 	wallHist [wallHistLen]time.Duration
@@ -191,6 +227,8 @@ func NewManager(opts Options) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		opts:       opts,
+		log:        opts.Logger,
+		red:        trace.NewRED(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -207,10 +245,33 @@ func NewManager(opts Options) *Manager {
 // Limits exposes the effective per-job bounds.
 func (m *Manager) Limits() Limits { return m.opts.Limits }
 
+// RED is the manager's request-metrics collector (rate / errors /
+// duration with exemplar span IDs); the HTTP layer feeds it and the
+// obsv server renders it via AddTextSource.
+func (m *Manager) RED() *trace.RED { return m.red }
+
+// SetTracePublisher wires the sink for finished jobs' trace summaries
+// (Attach points it at obsv.Server.PublishTrace). Call before traffic.
+func (m *Manager) SetTracePublisher(fn func(*trace.Summary)) {
+	m.mu.Lock()
+	m.pubTrace = fn
+	m.mu.Unlock()
+}
+
+// traceConfig is the per-job tracer configuration from the manager's
+// options.
+func (m *Manager) traceConfig() trace.Config {
+	return trace.Config{
+		SampleRate: m.opts.TraceSampleRate,
+		Disabled:   m.opts.TraceDisabled,
+	}
+}
+
 // Submit normalizes the spec and either returns an already-done job
 // from the cache (Cached=true, artifacts ready) or enqueues a fresh
 // run. A full queue fails fast with ErrQueueFull.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
+	t0 := time.Now()
 	norm, err := spec.Normalize(m.opts.Limits)
 	if err != nil {
 		return nil, err
@@ -232,9 +293,15 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		doneCh: make(chan struct{}),
 		cancel: cancel,
 		jctx:   jctx,
-		state:  StateQueued,
-		total:  norm.totalDevices(),
+		// The root span is named for the canonical submission path
+		// regardless of origin (HTTP or direct Submit), so identical
+		// specs yield identical trace artifacts.
+		tr:       trace.New(key, "POST /jobs", m.traceConfig()),
+		queuedAt: t0,
+		state:    StateQueued,
+		total:    norm.totalDevices(),
 	}
+	j.tr.SetJobName(fmt.Sprintf("%s %s", norm.Kind, norm.Cell))
 	if arts, ok := m.cache.get(key); ok {
 		// Cache hit: the job is born terminal with the original bytes.
 		j.state = StateDone
@@ -247,6 +314,13 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.order = append(m.order, j.ID)
 		m.submitted++
 		m.completed++
+		j.tr.AddStage("cache-hit", time.Since(t0))
+		j.tr.Finish()
+		m.publishTraceLocked(j, StateDone)
+		if m.log != nil {
+			m.log.Info("job cache hit", "job", j.ID, "key", j.Key,
+				"kind", string(norm.Kind), "cell", norm.Cell)
+		}
 		return j, nil
 	}
 	select {
@@ -255,11 +329,21 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.seq-- // not admitted; don't burn the ID
 		cancel()
 		m.rejected++
+		if m.log != nil {
+			m.log.Warn("job rejected: queue full", "key", key,
+				"kind", string(norm.Kind), "cell", norm.Cell,
+				"queue_depth", len(m.queue), "retry_after_s", m.retryAfterLocked())
+		}
 		return nil, ErrQueueFull
 	}
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.submitted++
+	if m.log != nil {
+		m.log.Info("job accepted", "job", j.ID, "key", j.Key,
+			"kind", string(norm.Kind), "cell", norm.Cell,
+			"devices", j.total, "queue_depth", len(m.queue))
+	}
 	return j, nil
 }
 
@@ -290,6 +374,9 @@ func (m *Manager) Cancel(id string) bool {
 	if !ok {
 		return false
 	}
+	if m.log != nil {
+		m.log.Info("job cancel requested", "job", j.ID, "key", j.Key)
+	}
 	j.cancel()
 	return true
 }
@@ -310,7 +397,13 @@ func (m *Manager) noteWall(d time.Duration) {
 // per-job wall deadline (a single slot must free up within MaxWall).
 func (m *Manager) RetryAfter() int {
 	m.mu.Lock()
-	depth := len(m.queue)
+	defer m.mu.Unlock()
+	return m.retryAfterLocked()
+}
+
+// retryAfterLocked computes the hint with m.mu held (Submit logs it
+// from inside its critical section).
+func (m *Manager) retryAfterLocked() int {
 	n := m.wallN
 	if n > wallHistLen {
 		n = wallHistLen
@@ -319,14 +412,34 @@ func (m *Manager) RetryAfter() int {
 	for i := 0; i < n; i++ {
 		sum += m.wallHist[i]
 	}
-	runners := m.opts.Runners
-	maxWall := m.opts.Limits.MaxWall
-	m.mu.Unlock()
 	var mean time.Duration
 	if n > 0 {
 		mean = sum / time.Duration(n)
 	}
-	return retryAfterSecs(depth, runners, mean, maxWall)
+	return retryAfterSecs(len(m.queue), m.opts.Runners, mean, m.opts.Limits.MaxWall)
+}
+
+// publishTraceLocked freezes j's tracer into a live summary and hands
+// it to the trace publisher; called with m.mu held.
+func (m *Manager) publishTraceLocked(j *Job, state string) {
+	if m.pubTrace == nil {
+		return
+	}
+	sum := j.tr.Summarize(state)
+	sum.JobID, sum.Key = j.ID, j.Key
+	sum.Cached = j.cached
+	m.pubTrace(sum)
+}
+
+// noteWatchdog folds one completed fleet job's summed per-device
+// window counters into the manager's running totals.
+func (m *Manager) noteWatchdog(st obsv.WindowStats) {
+	m.mu.Lock()
+	m.wdStats.Total += st.Total
+	m.wdStats.Interactive += st.Interactive
+	m.wdStats.Judged += st.Judged
+	m.wdStats.Flagged += st.Flagged
+	m.mu.Unlock()
 }
 
 // retryAfterSecs is the pure Retry-After computation: ceil(depth ×
@@ -367,6 +480,7 @@ func (m *Manager) Snapshot() *telemetry.Snapshot {
 	submitted, completed := m.submitted, m.completed
 	failed, canceled, rejected := m.failed, m.canceled, m.rejected
 	depth, running := len(m.queue), m.running
+	wd := m.wdStats
 	var dropped int64
 	for _, id := range m.order {
 		dropped += m.jobs[id].events.Dropped()
@@ -383,6 +497,10 @@ func (m *Manager) Snapshot() *telemetry.Snapshot {
 	t.Counter("jobs.cache.misses").Add(float64(cs.Misses))
 	t.Counter("jobs.cache.evictions").Add(float64(cs.Evictions))
 	t.Counter("jobs.sse.dropped_subscribers").Add(float64(dropped))
+	t.Counter("jobs.watchdog.windows_total").Add(float64(wd.Total))
+	t.Counter("jobs.watchdog.windows_interactive").Add(float64(wd.Interactive))
+	t.Counter("jobs.watchdog.windows_judged").Add(float64(wd.Judged))
+	t.Counter("jobs.watchdog.windows_flagged").Add(float64(wd.Flagged))
 	t.Gauge("jobs.queue.depth").Set(float64(depth))
 	t.Gauge("jobs.running").Set(float64(running))
 	t.Gauge("jobs.cache.bytes").Set(float64(cs.Bytes))
@@ -443,6 +561,8 @@ func (m *Manager) finish(j *Job, arts Artifacts, runErr error) {
 	frame := j.stateFrameLocked()
 	j.mu.Unlock()
 
+	j.tr.Finish()
+
 	m.mu.Lock()
 	m.running--
 	switch state {
@@ -454,7 +574,18 @@ func (m *Manager) finish(j *Job, arts Artifacts, runErr error) {
 	case StateFailed:
 		m.failed++
 	}
+	m.publishTraceLocked(j, state)
 	m.mu.Unlock()
+
+	if m.log != nil {
+		if state == StateDone {
+			m.log.Info("job finished", "job", j.ID, "state", state,
+				"trace", j.tr.Root().String())
+		} else {
+			m.log.Warn("job finished", "job", j.ID, "state", state,
+				"trace", j.tr.Root().String(), "err", runErr)
+		}
+	}
 
 	j.events.Publish(frame)
 	j.events.CloseAll()
@@ -478,12 +609,18 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.mu.Unlock()
+	j.tr.AddStage("queued", time.Since(j.queuedAt))
+	if m.log != nil {
+		m.log.Info("job started", "job", j.ID, "key", j.Key,
+			"queued_ms", time.Since(j.queuedAt).Milliseconds())
+	}
 	j.publishState()
 
 	ctx, cancel := context.WithTimeout(j.jctx, m.opts.Limits.MaxWall)
 	wallStart := time.Now()
 	arts, err := m.execute(ctx, j)
 	m.noteWall(time.Since(wallStart))
+	j.tr.AddStage("running", time.Since(wallStart))
 	cancel()
 	if err == nil && j.jctx.Err() != nil {
 		// The run raced a cancellation to the finish line; honor the

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/accounting"
 	"repro/internal/check"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // deviceOut is one device's harvest in a scenario/fleet job. Workers
@@ -96,6 +98,7 @@ func (m *Manager) runFleet(ctx context.Context, j *Job) (Artifacts, error) {
 		},
 		Telemetry: &telemetry.Options{},
 		Progress:  j.progressHook(),
+		Trace:     j.tr.Fleet(n),
 		// Streaming: per-device Results fold into the bounded
 		// accumulator and are dropped; the summary rows capture the few
 		// scalars the artifact needs via disjoint-index writes. This is
@@ -153,6 +156,7 @@ func (m *Manager) runFleet(ctx context.Context, j *Job) (Artifacts, error) {
 	for _, f := range fr.Summary.Failures {
 		return Artifacts{}, fmt.Errorf("jobs: device %d: %s", f.Index, f.Err)
 	}
+	artStart := time.Now() // the artifact-write lifecycle stage
 
 	// summary.json: finish the per-device rows (watchdog fields come
 	// from the scenario closure's outs) and reduce totals in index
@@ -224,12 +228,35 @@ func (m *Manager) runFleet(ctx context.Context, j *Job) (Artifacts, error) {
 		}
 	}
 
+	// Fold the per-device watchdog window counters into the manager's
+	// /metrics totals (index order is irrelevant to a sum).
+	var wdTotals obsv.WindowStats
+	for i := range outs {
+		wdTotals.Total += outs[i].stats.Total
+		wdTotals.Interactive += outs[i].stats.Interactive
+		wdTotals.Judged += outs[i].stats.Judged
+		wdTotals.Flagged += outs[i].stats.Flagged
+	}
+	m.noteWatchdog(wdTotals)
+
+	// trace.json: the deterministic span tree as Chrome trace JSON.
+	// Spans carry virtual-ns windows only and IDs derived from the
+	// spec's content address, so the bytes — like every other artifact
+	// — are a pure function of the normalized spec. The wall-clock
+	// lifecycle stages live on the /trace feed instead.
+	var traceJSON bytes.Buffer
+	if err := trace.WriteChrome(&traceJSON, j.tr.Spans()); err != nil {
+		return Artifacts{}, err
+	}
+	j.tr.AddStage("artifact-write", time.Since(artStart))
+
 	return Artifacts{Files: map[string][]byte{
 		"summary.json":  summaryJSON,
 		"watchdog.json": watchdogJSON,
 		"flame.txt":     collapsed.Bytes(),
 		"flame.html":    html.Bytes(),
 		"metrics.prom":  prom.Bytes(),
+		"trace.json":    traceJSON.Bytes(),
 	}}, nil
 }
 
@@ -261,8 +288,17 @@ func (m *Manager) runCorpus(ctx context.Context, j *Job) (Artifacts, error) {
 	if err != nil {
 		return Artifacts{}, err
 	}
+	// Corpus jobs have no fleet handle to hang device spans off; the
+	// trace is the control-plane pair (request → job) over the corpus
+	// horizon.
+	j.tr.SetHorizon(spec.Horizon.std())
+	var traceJSON bytes.Buffer
+	if err := trace.WriteChrome(&traceJSON, j.tr.Spans()); err != nil {
+		return Artifacts{}, err
+	}
 	return Artifacts{Files: map[string][]byte{
 		"summary.json": cellsJSON,
 		"summary.txt":  []byte(res.Render()),
+		"trace.json":   traceJSON.Bytes(),
 	}}, nil
 }

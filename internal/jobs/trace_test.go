@@ -1,0 +1,169 @@
+package jobs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chromeEv mirrors the trace.json event shape for test-side parsing.
+type chromeEv struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+const zeroSpan = "0000000000000000"
+
+// TestTraceSmoke is the end-to-end smoke behind `make trace-smoke`:
+// one traced fleet job over HTTP with every device sampled must yield a
+// trace.json artifact that parses as Chrome trace JSON and forms a
+// single rooted, properly nested span tree; the job status carries the
+// root span ID; /trace lists the finished job; and /metrics carries
+// the RED series with an exemplar pointing at that root.
+func TestTraceSmoke(t *testing.T) {
+	base, _, stop := startPlane(t, Options{
+		Runners:         1,
+		TraceSampleRate: 1,
+		Limits:          Limits{Workers: 2},
+	})
+	defer stop()
+
+	spec := Spec{
+		Kind:    KindFleet,
+		Cell:    "idle-mostly/intermittent-drain",
+		Seed:    41,
+		Devices: 4,
+		Horizon: Duration(time.Hour),
+	}
+	code, st := postSpec(t, base, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", code)
+	}
+	final := waitDone(t, base, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job state = %s (%s)", final.State, final.Error)
+	}
+	if len(final.Trace) != 16 {
+		t.Fatalf("status trace root = %q, want 16 hex digits", final.Trace)
+	}
+
+	// The artifact must parse as a Chrome trace-event array.
+	raw := getArtifact(t, base, st.ID, "trace.json")
+	var events []chromeEv
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace.json does not parse: %v", err)
+	}
+
+	// Index the X events by span ID and count kinds.
+	type span struct {
+		parent  string
+		kind    string
+		ts, end float64
+	}
+	byID := map[string]span{}
+	kinds := map[string]int{}
+	var rootID string
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		id, _ := ev.Args["id"].(string)
+		parent, _ := ev.Args["parent"].(string)
+		kind, _ := ev.Args["kind"].(string)
+		if id == "" || kind == "" {
+			t.Fatalf("X event %q missing id/kind args: %+v", ev.Name, ev.Args)
+		}
+		byID[id] = span{parent: parent, kind: kind, ts: ev.Ts, end: ev.Ts + ev.Dur}
+		kinds[kind]++
+		if parent == zeroSpan {
+			if rootID != "" {
+				t.Fatalf("two roots: %s and %s", rootID, id)
+			}
+			rootID = id
+		}
+	}
+	if rootID == "" {
+		t.Fatal("trace has no root span")
+	}
+	if rootID != final.Trace {
+		t.Fatalf("artifact root %s != status trace %s", rootID, final.Trace)
+	}
+	if kinds["device"] != spec.Devices {
+		t.Fatalf("trace has %d device spans, want %d (sample rate 1)", kinds["device"], spec.Devices)
+	}
+	for _, k := range []string{"request", "job", "shard", "phase"} {
+		if kinds[k] == 0 {
+			t.Fatalf("trace has no %q spans (kinds: %v)", k, kinds)
+		}
+	}
+	// Every non-root span's parent exists, and device/phase spans nest
+	// inside their parent's window.
+	for id, s := range byID {
+		if s.parent == zeroSpan {
+			continue
+		}
+		p, ok := byID[s.parent]
+		if !ok {
+			t.Fatalf("span %s (%s) has unknown parent %s", id, s.kind, s.parent)
+		}
+		if s.kind == "device" || s.kind == "phase" {
+			if s.ts < p.ts || s.end > p.end {
+				t.Fatalf("%s span %s [%v,%v] escapes parent [%v,%v]",
+					s.kind, id, s.ts, s.end, p.ts, p.end)
+			}
+		}
+	}
+
+	// The live /trace endpoint lists the finished job's summary.
+	resp, err := http.Get(base + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var feed struct {
+		Traces []struct {
+			Root  string `json:"root"`
+			JobID string `json:"job_id"`
+			State string `json:"state"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(traceBody, &feed); err != nil {
+		t.Fatalf("/trace does not parse: %v\n%s", err, traceBody)
+	}
+	found := false
+	for _, tr := range feed.Traces {
+		if tr.Root == rootID {
+			found = true
+			if tr.JobID != st.ID || tr.State != StateDone {
+				t.Fatalf("/trace summary = %+v, want job %s done", tr, st.ID)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("/trace missing root %s:\n%s", rootID, traceBody)
+	}
+
+	// RED series with the root span as exemplar on /metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`eandroid_jobs_requests_total{endpoint="POST /jobs",kind="fleet"}`,
+		`# {span="` + rootID + `"}`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

@@ -31,6 +31,15 @@ func parseProm(t *testing.T, text string) map[string]float64 {
 			}
 			continue
 		}
+		if strings.HasPrefix(line, "#") {
+			// HELP and other comments are legal exposition.
+			continue
+		}
+		// Exemplars ride after a '#' on bucket sample lines; the sample
+		// value is what precedes them.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
+		}
 		// "name value" or `name_bucket{le="x"} value`.
 		idx := strings.LastIndexByte(line, ' ')
 		if idx < 0 {

@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,7 +19,16 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// Version labels the eandroid_build_info metric; release builds may
+// override it via -ldflags "-X repro/internal/obsv.Version=...".
+var Version = "dev"
+
+// traceRing bounds how many finished trace summaries /trace retains
+// (newest last; older summaries roll off).
+const traceRing = 32
 
 // Server is the live observability plane: a stdlib net/http server
 // exposing
@@ -49,14 +60,27 @@ type Server struct {
 
 	watchSSE *SSEBroker
 	fleetSSE *SSEBroker
+	traceSSE *SSEBroker
+
+	traceMu sync.Mutex
+	traces  []*trace.Summary
+
+	// wstats is the latest watchdog window-counter publication,
+	// rendered as gauges on /metrics.
+	wstats atomic.Pointer[WindowStats]
+
+	// start anchors the process uptime gauge.
+	start time.Time
 
 	trackMu sync.Mutex
 	tracker *FleetTracker
 
-	// srcMu guards the extra metrics sources and shutdown hooks that
-	// mounted subsystems (the jobs control plane) register.
+	// srcMu guards the extra metrics sources, raw-text appenders and
+	// shutdown hooks that mounted subsystems (the jobs control plane)
+	// register.
 	srcMu    sync.Mutex
 	sources  []func() *telemetry.Snapshot
+	texts    []func(io.Writer)
 	onClose  []func()
 	hooksRan bool
 }
@@ -68,6 +92,8 @@ func NewServer() *Server {
 		mux:      http.NewServeMux(),
 		watchSSE: NewSSEBroker(),
 		fleetSSE: NewSSEBroker(),
+		traceSSE: NewSSEBroker(),
+		start:    time.Now(),
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -98,6 +124,10 @@ func NewServer() *Server {
 	})
 	s.mux.HandleFunc("/flame", s.handleFlame)
 	s.mux.HandleFunc("/flame.txt", s.handleFlameTxt)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/trace/events", func(w http.ResponseWriter, r *http.Request) {
+		s.traceSSE.Serve(w, r, s.traceStateFrame())
+	})
 	// ReadHeaderTimeout bounds how long a connection may dribble its
 	// request headers (the slowloris hole an unset value leaves open);
 	// IdleTimeout reclaims keep-alive connections that went quiet. SSE
@@ -127,6 +157,17 @@ func (s *Server) AddMetricsSource(fn func() *telemetry.Snapshot) {
 	s.srcMu.Lock()
 	defer s.srcMu.Unlock()
 	s.sources = append(s.sources, fn)
+}
+
+// AddTextSource registers a raw Prometheus-text appender written after
+// the merged snapshot on every /metrics scrape. Labelled series (the
+// jobs RED histograms with exemplars) use this path — the snapshot
+// writer is label-free by design. Appenders must be safe for
+// concurrent use.
+func (s *Server) AddTextSource(fn func(io.Writer)) {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	s.texts = append(s.texts, fn)
 }
 
 // OnShutdown registers a hook run at the start of Shutdown, before the
@@ -173,6 +214,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.runShutdownHooks()
 	s.watchSSE.CloseAll()
 	s.fleetSSE.CloseAll()
+	s.traceSSE.CloseAll()
 	return s.srv.Shutdown(ctx)
 }
 
@@ -224,6 +266,33 @@ func (s *Server) PublishFinding(f Finding) {
 	}
 }
 
+// PublishTrace records one finished operation's trace summary and
+// pushes it on the /trace/events SSE channel. Like fleet progress this
+// is the live, wall-clock side of the tracing split — the
+// deterministic span tree ships in the job's trace.json artifact.
+func (s *Server) PublishTrace(sum *trace.Summary) {
+	if sum == nil {
+		return
+	}
+	s.traceMu.Lock()
+	s.traces = append(s.traces, sum)
+	if len(s.traces) > traceRing {
+		s.traces = s.traces[len(s.traces)-traceRing:]
+	}
+	s.traceMu.Unlock()
+	if data, err := json.Marshal(sum); err == nil {
+		s.traceSSE.Publish(SSEFrame("trace", string(data)))
+	}
+}
+
+// PublishWindowStats makes st the watchdog window-counter gauges on
+// /metrics (obsv.watchdog.windows_*). Call it whenever the counters
+// advance — typically alongside PublishSnapshot, or per finding via
+// wd.Stats().
+func (s *Server) PublishWindowStats(st WindowStats) {
+	s.wstats.Store(&st)
+}
+
 // TrackFleet installs a progress tracker for a fleet of total devices
 // and returns the hook to place in fleet.Spec.Progress. Each call
 // resets the tracked state (one fleet run at a time).
@@ -254,12 +323,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /fleet            fleet progress (JSON); /fleet/events (SSE)
   /watchdog         drain-anomaly findings (JSON); /watchdog/events (SSE)
   /flame            energy flame graph (HTML); /flame.txt (collapsed stacks)
+  /trace            recent trace summaries (JSON); /trace/events (SSE)
 `)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.srcMu.Lock()
 	sources := s.sources
+	texts := s.texts
 	s.srcMu.Unlock()
 	snaps := []*telemetry.Snapshot{s.snap.Load(), s.ownMetrics()}
 	for _, fn := range sources {
@@ -272,6 +343,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = WritePrometheus(w, merged)
+	s.writeProcessMetrics(w)
+	for _, fn := range texts {
+		fn(w)
+	}
+}
+
+// writeProcessMetrics appends the standard process hygiene gauges:
+// build identity, uptime, goroutines, heap in use. Rendered directly —
+// build_info needs labels, which the snapshot writer does not carry.
+func (s *Server) writeProcessMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP eandroid_build_info Build identity (value is constant 1).\n")
+	fmt.Fprintf(w, "# TYPE eandroid_build_info gauge\n")
+	fmt.Fprintf(w, "eandroid_build_info{version=%q,go=%q} 1\n", Version, runtime.Version())
+	fmt.Fprintf(w, "# HELP eandroid_process_uptime_seconds Seconds since the obsv server was built.\n")
+	fmt.Fprintf(w, "# TYPE eandroid_process_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "eandroid_process_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "# HELP eandroid_process_goroutines Current goroutine count.\n")
+	fmt.Fprintf(w, "# TYPE eandroid_process_goroutines gauge\n")
+	fmt.Fprintf(w, "eandroid_process_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP eandroid_process_heap_inuse_bytes Bytes in in-use heap spans.\n")
+	fmt.Fprintf(w, "# TYPE eandroid_process_heap_inuse_bytes gauge\n")
+	fmt.Fprintf(w, "eandroid_process_heap_inuse_bytes %d\n", ms.HeapInuse)
 }
 
 // ownMetrics is the server's self-instrumentation: the SSE brokers'
@@ -280,7 +375,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) ownMetrics() *telemetry.Snapshot {
 	m := telemetry.NewMetrics()
 	m.Counter("obsv.sse.dropped_subscribers").Add(
-		float64(s.watchSSE.Dropped() + s.fleetSSE.Dropped()))
+		float64(s.watchSSE.Dropped() + s.fleetSSE.Dropped() + s.traceSSE.Dropped()))
+	if st := s.wstats.Load(); st != nil {
+		m.Gauge("obsv.watchdog.windows_total").Set(float64(st.Total))
+		m.Gauge("obsv.watchdog.windows_interactive").Set(float64(st.Interactive))
+		m.Gauge("obsv.watchdog.windows_judged").Set(float64(st.Judged))
+		m.Gauge("obsv.watchdog.windows_flagged").Set(float64(st.Flagged))
+	}
 	return m.Snapshot()
 }
 
@@ -325,6 +426,33 @@ func (s *Server) handleFlameTxt(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_ = f.WriteCollapsed(w)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	s.traceMu.Lock()
+	out := make([]*trace.Summary, len(s.traces))
+	copy(out, s.traces)
+	s.traceMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Traces []*trace.Summary `json:"traces"`
+	}{out})
+}
+
+// traceStateFrame replays the retained trace summaries as the initial
+// /trace/events frame.
+func (s *Server) traceStateFrame() []string {
+	s.traceMu.Lock()
+	out := make([]*trace.Summary, len(s.traces))
+	copy(out, s.traces)
+	s.traceMu.Unlock()
+	data, err := json.Marshal(struct {
+		Traces []*trace.Summary `json:"traces"`
+	}{out})
+	if err != nil {
+		return nil
+	}
+	return []string{SSEFrame("state", string(data))}
 }
 
 // fleetStateFrame is the initial SSE frame for /fleet/events: the

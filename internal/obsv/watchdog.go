@@ -10,6 +10,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Watchdog defaults. The spike thresholds are deliberately double-gated
@@ -357,6 +358,12 @@ func (w *Watchdog) closeWindow(now sim.Time) {
 	if quiet && len(w.findings)+w.dropped > preFindings {
 		w.stats.Flagged++
 	}
+
+	// Traced devices record each closed window as an engine-phase span
+	// carrying the window's finding count — virtual-time endpoints, so
+	// the span is as deterministic as the judgement itself.
+	w.dev.Trace.Phase(trace.PhaseWatchdogWindow, w.winStart, now,
+		float64(len(w.findings)+w.dropped-preFindings))
 
 	for uid := range w.direct {
 		delete(w.direct, uid)

@@ -70,7 +70,7 @@ func Start(opts Options) (*Plane, error) {
 	}
 	p.Addr = bound
 	if opts.Banner != nil {
-		endpoints := "/metrics, /flame, /watchdog, /debug/pprof/"
+		endpoints := "/metrics, /flame, /watchdog, /trace, /debug/pprof/"
 		if opts.Jobs {
 			endpoints += ", /jobs"
 		}

@@ -530,6 +530,62 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// KernelBatch is one same-instant run of kernel event firings: the
+// timing wheel dispatches all events due at one virtual instant as a
+// batch, and the trace log records them back-to-back with equal T.
+type KernelBatch struct {
+	// T is the batch's virtual instant.
+	T sim.Time
+	// N is how many events fired at T (within the retained window).
+	N int
+}
+
+// ForEachKernelBatch streams the retained kernel trace-log firings,
+// coalesced into same-instant dispatch batches, oldest first — the
+// allocation-free form the fleet's tracer folds from after every
+// sampled device (a per-device []KernelBatch materialization showed
+// up in the tracing overhead gate). Only the retained ring window is
+// visible, so long runs see the tail.
+func (r *Recorder) ForEachKernelBatch(fn func(KernelBatch)) {
+	if r == nil {
+		return
+	}
+	tl := r.simLog
+	if len(tl.Buf) == 0 || tl.Total == 0 {
+		return
+	}
+	// Oldest-first ring order without linearizing: one segment when the
+	// ring has not wrapped, two when it has (W is the oldest slot).
+	segs := [2][]sim.TraceRecord{tl.Buf[:min(int(tl.Total), len(tl.Buf))]}
+	if tl.Total > uint64(len(tl.Buf)) {
+		segs[0], segs[1] = tl.Buf[tl.W:], tl.Buf[:tl.W]
+	}
+	var cur KernelBatch
+	started := false
+	for _, seg := range segs {
+		for i := range seg {
+			if t := seg[i].T; !started || t != cur.T {
+				if started {
+					fn(cur)
+				}
+				cur = KernelBatch{T: t, N: 0}
+				started = true
+			}
+			cur.N++
+		}
+	}
+	if started {
+		fn(cur)
+	}
+}
+
+// KernelBatches collects ForEachKernelBatch's stream into a slice.
+func (r *Recorder) KernelBatches() []KernelBatch {
+	var out []KernelBatch
+	r.ForEachKernelBatch(func(b KernelBatch) { out = append(out, b) })
+	return out
+}
+
 // InstrumentEngine wires r to e: every fired kernel event lands in the
 // recorder's trace log (a KindSimEvent record in Events()) and feeds
 // the events-fired counter and queue-depth gauges. The log attaches

@@ -1,0 +1,158 @@
+// RED metrics (rate, errors, duration) for the jobs API, derived from
+// the same span stream the tracer feeds: each observation carries the
+// request's root span ID, which sticks to the histogram bucket it
+// lands in as an exemplar — so a slow bucket on /metrics links to a
+// concrete trace.
+//
+// The telemetry snapshot writer has no label support, so RED renders
+// its own Prometheus text; the obsv server appends it after the merged
+// snapshot (Server.AddTextSource).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// redBuckets are the duration histogram bounds in seconds, the usual
+// latency ladder.
+var redBuckets = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// redSeries is one (endpoint, kind, status-class) histogram.
+type redSeries struct {
+	count    uint64
+	errors   uint64
+	sum      float64
+	buckets  []uint64 // len(redBuckets)+1, last is +Inf
+	exemplar []SpanID // per finite bucket: last span that landed there
+}
+
+// RED aggregates request observations per (endpoint, job kind).
+type RED struct {
+	mu     sync.Mutex
+	series map[string]*redSeries // key: endpoint "\x00" kind
+}
+
+// NewRED returns an empty collector.
+func NewRED() *RED { return &RED{series: make(map[string]*redSeries)} }
+
+// Observe records one request: endpoint pattern, job kind ("" when
+// not job-scoped), HTTP status, duration, and the root span ID as the
+// bucket exemplar (zero when the request had no trace).
+func (r *RED) Observe(endpoint, kind string, status int, d time.Duration, ex SpanID) {
+	if r == nil {
+		return
+	}
+	key := endpoint + "\x00" + kind
+	sec := d.Seconds()
+	r.mu.Lock()
+	s := r.series[key]
+	if s == nil {
+		s = &redSeries{
+			buckets:  make([]uint64, len(redBuckets)+1),
+			exemplar: make([]SpanID, len(redBuckets)),
+		}
+		r.series[key] = s
+	}
+	s.count++
+	s.sum += sec
+	if status >= 500 {
+		s.errors++
+	}
+	b := sort.SearchFloat64s(redBuckets, sec)
+	s.buckets[b]++
+	if b < len(redBuckets) && ex != 0 {
+		s.exemplar[b] = ex
+	}
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders the collector as Prometheus text with
+// OpenMetrics-style exemplars ("# {span=...} value") on histogram
+// bucket samples. Series are sorted for stable output.
+func (r *RED) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		endpoint, kind string
+		s              redSeries
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		src := r.series[k]
+		cp := redSeries{
+			count: src.count, errors: src.errors, sum: src.sum,
+			buckets:  append([]uint64(nil), src.buckets...),
+			exemplar: append([]SpanID(nil), src.exemplar...),
+		}
+		sep := 0
+		for i := range k {
+			if k[i] == 0 {
+				sep = i
+				break
+			}
+		}
+		rows = append(rows, row{endpoint: k[:sep], kind: k[sep+1:], s: cp})
+	}
+	r.mu.Unlock()
+	if len(rows) == 0 {
+		return
+	}
+
+	fmt.Fprintf(w, "# HELP eandroid_jobs_requests_total Jobs API requests by endpoint and job kind.\n")
+	fmt.Fprintf(w, "# TYPE eandroid_jobs_requests_total counter\n")
+	for _, rw := range rows {
+		fmt.Fprintf(w, "eandroid_jobs_requests_total{%s} %d\n", labels(rw.endpoint, rw.kind, ""), rw.s.count)
+	}
+	fmt.Fprintf(w, "# HELP eandroid_jobs_errors_total Jobs API 5xx responses by endpoint and job kind.\n")
+	fmt.Fprintf(w, "# TYPE eandroid_jobs_errors_total counter\n")
+	for _, rw := range rows {
+		fmt.Fprintf(w, "eandroid_jobs_errors_total{%s} %d\n", labels(rw.endpoint, rw.kind, ""), rw.s.errors)
+	}
+	fmt.Fprintf(w, "# HELP eandroid_jobs_duration_seconds Jobs API request duration by endpoint and job kind.\n")
+	fmt.Fprintf(w, "# TYPE eandroid_jobs_duration_seconds histogram\n")
+	for _, rw := range rows {
+		var cum uint64
+		for i, le := range redBuckets {
+			cum += rw.s.buckets[i]
+			fmt.Fprintf(w, "eandroid_jobs_duration_seconds_bucket{%s} %d",
+				labels(rw.endpoint, rw.kind, fmtLe(le)), cum)
+			if ex := rw.s.exemplar[i]; ex != 0 {
+				fmt.Fprintf(w, " # {span=%q} %d", ex.String(), 1)
+			}
+			fmt.Fprintf(w, "\n")
+		}
+		cum += rw.s.buckets[len(redBuckets)]
+		fmt.Fprintf(w, "eandroid_jobs_duration_seconds_bucket{%s} %d\n",
+			labels(rw.endpoint, rw.kind, "+Inf"), cum)
+		fmt.Fprintf(w, "eandroid_jobs_duration_seconds_sum{%s} %g\n", labels(rw.endpoint, rw.kind, ""), rw.s.sum)
+		fmt.Fprintf(w, "eandroid_jobs_duration_seconds_count{%s} %d\n", labels(rw.endpoint, rw.kind, ""), rw.s.count)
+	}
+}
+
+func labels(endpoint, kind, le string) string {
+	s := fmt.Sprintf("endpoint=%q", endpoint)
+	if kind != "" {
+		s += fmt.Sprintf(",kind=%q", kind)
+	}
+	if le != "" {
+		s += fmt.Sprintf(",le=%q", le)
+	}
+	return s
+}
+
+// fmtLe renders bucket bounds without exponent noise (0.001, not
+// 1e-03) so the text is stable and grep-friendly.
+func fmtLe(v float64) string { return fmt.Sprintf("%g", v) }

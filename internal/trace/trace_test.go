@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestDeriveIsPureAndSpreads(t *testing.T) {
+	root := RootID("abc123")
+	if root != RootID("abc123") {
+		t.Fatal("RootID not pure")
+	}
+	if RootID("abc123") == RootID("abc124") {
+		t.Fatal("distinct seeds collide")
+	}
+	a, b := Derive(root, 1), Derive(root, 2)
+	if a == b || a == root || b == root {
+		t.Fatalf("derivation collides: root=%v a=%v b=%v", root, a, b)
+	}
+	if Derive(root, 1) != a {
+		t.Fatal("Derive not pure")
+	}
+}
+
+func TestSpanIDJSONHex(t *testing.T) {
+	id := SpanID(0x0123456789abcdef)
+	b, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"0123456789abcdef"` {
+		t.Fatalf("SpanID JSON = %s", b)
+	}
+}
+
+func TestSampledPureAndRoughlyProportional(t *testing.T) {
+	root := RootID("sample-test")
+	n, rate := 6400, 64
+	var hits int
+	for i := 0; i < n; i++ {
+		if Sampled(root, i, rate) {
+			hits++
+		}
+		if Sampled(root, i, rate) != Sampled(root, i, rate) {
+			t.Fatal("Sampled not pure")
+		}
+	}
+	// Expect ~100; a 3x band catches derivation bugs without flaking.
+	if hits < 33 || hits > 300 {
+		t.Fatalf("sampled %d of %d at 1/%d", hits, n, rate)
+	}
+	if !Sampled(root, 7, 1) {
+		t.Fatal("rate 1 must sample everything")
+	}
+	if Sampled(root, 7, 0) {
+		t.Fatal("rate 0 must sample nothing at the Sampled level")
+	}
+}
+
+// buildTree runs a tiny synthetic operation twice and asserts the
+// deterministic tree is identical.
+func buildTree() []Span {
+	tr := New("deadbeef", "POST /jobs", Config{SampleRate: 1})
+	tr.SetJobName("fleet test/cell")
+	ft := tr.Fleet(3)
+	for i := 0; i < 3; i++ {
+		dt := ft.Device(i)
+		dt.Phase(PhaseMeterFlush, 0, 1000, 2.5)
+		dt.Phase(PhaseWatchdogWindow, 1000, 2000, 0)
+		dt.Accrue(hw.Interval{From: 2000, To: 3000, ScreenJ: 1, SystemJ: 2})
+		ft.Finish(i, dt, 5000)
+	}
+	return tr.Spans()
+}
+
+func TestSpanTreeDeterministicAndNested(t *testing.T) {
+	a, b := buildTree(), buildTree()
+	// Wall timestamps are the live side of the determinism split;
+	// everything else must be identical run to run.
+	stripWall := func(spans []Span) []Span {
+		out := append([]Span(nil), spans...)
+		for i := range out {
+			out[i].WallStart, out[i].WallEnd = 0, 0
+		}
+		return out
+	}
+	aj, _ := json.Marshal(stripWall(a))
+	bj, _ := json.Marshal(stripWall(b))
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("span trees differ:\n%s\n%s", aj, bj)
+	}
+
+	byID := map[SpanID]Span{}
+	var roots int
+	for _, s := range a {
+		byID[s.ID] = s
+	}
+	for _, s := range a {
+		if s.Parent == 0 {
+			roots++
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %v (%s) has unknown parent %v", s.ID, s.Name, s.Parent)
+		}
+		if s.Kind == KindPhase || s.Kind == KindDevice {
+			if s.Start < p.Start || s.End > p.End {
+				t.Fatalf("span %s [%d,%d] escapes parent %s [%d,%d]",
+					s.Name, s.Start, s.End, p.Name, p.Start, p.End)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("tree has %d roots, want 1", roots)
+	}
+	// request → job → 1 shard → 3 devices → 9 phases
+	if len(a) != 1+1+1+3+9 {
+		t.Fatalf("tree has %d spans, want 15", len(a))
+	}
+	// Job/request windows roll up to the max device end.
+	if a[0].End != 5000 || a[1].End != 5000 {
+		t.Fatalf("rollup ends = %d, %d, want 5000", a[0].End, a[1].End)
+	}
+}
+
+func TestDeviceTracerCapDropsNew(t *testing.T) {
+	tr := New("cap", "POST /jobs", Config{SampleRate: 1, MaxSpansPerDevice: 4})
+	ft := tr.Fleet(1)
+	dt := ft.Device(0)
+	for k := 0; k < 10; k++ {
+		dt.Phase(PhaseMeterFlush, sim.Time(k), sim.Time(k+1), 0)
+	}
+	if dt.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", dt.Dropped())
+	}
+	ft.Finish(0, dt, 10)
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("tracer dropped = %d, want 6", got)
+	}
+}
+
+func TestNilDeviceTracerIsInert(t *testing.T) {
+	var dt *DeviceTracer
+	dt.Phase(PhaseMeterFlush, 0, 1, 0) // must not panic
+	dt.Accrue(hw.Interval{})
+	if dt.Dropped() != 0 {
+		t.Fatal("nil tracer dropped != 0")
+	}
+	var ft *FleetTrace
+	if ft.Device(3) != nil {
+		t.Fatal("nil fleet trace handed out a device tracer")
+	}
+	ft.Finish(3, nil, 0)
+}
+
+func TestDisabledTracesControlPlaneOnly(t *testing.T) {
+	tr := New("off", "POST /jobs", Config{Disabled: true, SampleRate: 1})
+	ft := tr.Fleet(2)
+	if ft.Device(0) != nil || ft.Device(1) != nil {
+		t.Fatal("disabled config sampled a device")
+	}
+	ft.Finish(0, nil, 100)
+	ft.Finish(1, nil, 200)
+	spans := tr.Spans()
+	if len(spans) != 3 { // request, job, shard-0
+		t.Fatalf("disabled tree has %d spans, want 3", len(spans))
+	}
+	if spans[0].End != 200 {
+		t.Fatalf("rollup end = %d, want 200", spans[0].End)
+	}
+}
+
+func TestWriteChromeParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, buildTree()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace does not parse: %v\n%s", err, buf.String())
+	}
+	var x, meta int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			x++
+		case "M":
+			meta++
+		}
+	}
+	if x != 15 {
+		t.Fatalf("chrome trace has %d X events, want 15", x)
+	}
+	if meta < 4 { // control plane + 3 devices
+		t.Fatalf("chrome trace has %d metadata events, want >= 4", meta)
+	}
+	// Byte-identical on re-export.
+	var buf2 bytes.Buffer
+	if err := WriteChrome(&buf2, buildTree()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("chrome export not byte-stable")
+	}
+}
+
+func TestREDExemplarsAndText(t *testing.T) {
+	red := NewRED()
+	ex := RootID("job-key")
+	red.Observe("POST /jobs", "fleet", 202, 3*time.Millisecond, ex)
+	red.Observe("POST /jobs", "fleet", 500, 40*time.Millisecond, 0)
+	red.Observe("GET /jobs", "", 200, 100*time.Microsecond, 0)
+	var b strings.Builder
+	red.WritePrometheus(&b)
+	text := b.String()
+
+	for _, want := range []string{
+		`eandroid_jobs_requests_total{endpoint="POST /jobs",kind="fleet"} 2`,
+		`eandroid_jobs_errors_total{endpoint="POST /jobs",kind="fleet"} 1`,
+		`eandroid_jobs_requests_total{endpoint="GET /jobs"} 1`,
+		`eandroid_jobs_duration_seconds_count{endpoint="POST /jobs",kind="fleet"} 2`,
+		`le="+Inf"`,
+		`# {span="` + ex.String() + `"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("RED text missing %q:\n%s", want, text)
+		}
+	}
+	// Stable output.
+	var b2 strings.Builder
+	red.WritePrometheus(&b2)
+	if b2.String() != text {
+		t.Fatal("RED text not stable across writes")
+	}
+}
